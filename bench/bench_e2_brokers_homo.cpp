@@ -1,0 +1,46 @@
+// E2 — Number of allocated brokers, homogeneous scenario.
+//
+// Expected shape: the CRAM variants allocate up to ~91% fewer brokers than
+// the 80-broker baselines; BIN PACKING consistently allocates about one
+// broker fewer than FBF; the broker count grows with the subscription load.
+#include <cstdio>
+
+#include "sweep_common.hpp"
+
+using namespace greenps;
+using namespace greenps::bench;
+
+int main() {
+  const HarnessConfig base = homogeneous_base();
+  std::printf(
+      "E2: allocated brokers, homogeneous\n"
+      "brokers=%zu publishers=%zu %s\n\n",
+      base.scenario.num_brokers, base.scenario.num_publishers,
+      full_scale() ? "[FULL SCALE]" : "[reduced scale; GREENPS_FULL=1 for paper scale]");
+
+  const std::vector<int> widths = {6, 12, 10, 10, 10, 12};
+  print_row({"subs", "approach", "brokers", "clusters", "vs MANUAL", "utilization"},
+            widths);
+
+  for (const std::size_t spp : subs_per_publisher_sweep()) {
+    HarnessConfig cfg = base;
+    cfg.scenario.subs_per_publisher = spp;
+    const std::size_t total_subs = spp * cfg.scenario.num_publishers;
+    double manual_brokers = 0;
+    for (const Approach a : all_approaches()) {
+      const RunResult r = run_approach(a, cfg);
+      if (a == Approach::kManual) {
+        manual_brokers = static_cast<double>(r.summary.allocated_brokers);
+      }
+      print_row({std::to_string(total_subs), approach_name(a),
+                 std::to_string(r.summary.allocated_brokers),
+                 r.reconfigured ? std::to_string(r.report.cluster_count) : "-",
+                 pct_change(manual_brokers,
+                            static_cast<double>(r.summary.allocated_brokers)),
+                 fmt(r.summary.avg_output_utilization * 100.0, 1) + "%"},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// E3 — Publication hop count and end-to-end delivery delay, homogeneous.
+//
+// Reducing the broker count shrinks the network, which improves the average
+// broker hop count per delivery; delivery delay follows unless queueing at
+// the consolidated brokers dominates.
+#include <cstdio>
+
+#include "sweep_common.hpp"
+
+using namespace greenps;
+using namespace greenps::bench;
+
+int main() {
+  const HarnessConfig base = homogeneous_base();
+  std::printf(
+      "E3: hop count and delivery delay, homogeneous\n"
+      "brokers=%zu publishers=%zu %s\n\n",
+      base.scenario.num_brokers, base.scenario.num_publishers,
+      full_scale() ? "[FULL SCALE]" : "[reduced scale; GREENPS_FULL=1 for paper scale]");
+
+  const std::vector<int> widths = {6, 12, 10, 8, 11, 12};
+  print_row({"subs", "approach", "brokers", "hops", "delay(ms)", "deliveries"}, widths);
+
+  for (const std::size_t spp : subs_per_publisher_sweep()) {
+    HarnessConfig cfg = base;
+    cfg.scenario.subs_per_publisher = spp;
+    const std::size_t total_subs = spp * cfg.scenario.num_publishers;
+    for (const Approach a : all_approaches()) {
+      const RunResult r = run_approach(a, cfg);
+      print_row({std::to_string(total_subs), approach_name(a),
+                 std::to_string(r.summary.allocated_brokers), fmt(r.summary.avg_hop_count, 2),
+                 fmt(r.summary.avg_delivery_delay_ms, 2),
+                 std::to_string(r.summary.deliveries)},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

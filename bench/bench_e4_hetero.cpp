@@ -1,0 +1,48 @@
+// E4 — Heterogeneous scenario (Section VI-A).
+//
+// Broker capacities mixed 15:25:40 at 100%/50%/25% of full bandwidth;
+// publisher i has Ns/i subscriptions with Ns swept 50..200. The MANUAL
+// baseline places resourceful brokers at the top of the tree and spreads
+// subscribers proportionally to broker resources. Expected shape: the
+// capacity-aware approaches (especially CRAM + best-fit replacement) still
+// consolidate heavily; PAIRWISE-K/N suffer because they ignore capacity.
+#include <cstdio>
+
+#include "sweep_common.hpp"
+
+using namespace greenps;
+using namespace greenps::bench;
+
+int main() {
+  HarnessConfig base = homogeneous_base();
+  base.scenario.heterogeneous = true;
+  std::printf(
+      "E4: heterogeneous capacity mix (100%%/50%%/25%% at 15:25:40), Ns/i subscriptions\n"
+      "brokers=%zu publishers=%zu %s\n\n",
+      base.scenario.num_brokers, base.scenario.num_publishers,
+      full_scale() ? "[FULL SCALE]" : "[reduced scale; GREENPS_FULL=1 for paper scale]");
+
+  const std::vector<int> widths = {6, 6, 12, 10, 12, 10, 12};
+  print_row({"Ns", "subs", "approach", "brokers", "msg rate", "hops", "utilization"},
+            widths);
+
+  for (const std::size_t ns : subs_per_publisher_sweep()) {
+    HarnessConfig cfg = base;
+    cfg.scenario.subs_per_publisher = ns;
+    // Total subscriptions = sum over publishers of max(1, Ns/i).
+    std::size_t total = 0;
+    for (std::size_t i = 1; i <= cfg.scenario.num_publishers; ++i) {
+      total += std::max<std::size_t>(1, ns / i);
+    }
+    for (const Approach a : all_approaches()) {
+      const RunResult r = run_approach(a, cfg);
+      print_row({std::to_string(ns), std::to_string(total), approach_name(a),
+                 std::to_string(r.summary.allocated_brokers),
+                 fmt(r.summary.avg_broker_msg_rate, 2), fmt(r.summary.avg_hop_count, 2),
+                 fmt(r.summary.avg_output_utilization * 100.0, 1) + "%"},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E5 — Large-scale deployments (the paper's SciNet runs: 400 and 1,000
+// brokers with 72 and 100 publishers at 225 subscriptions each, sized so
+// the MANUAL baseline initially saturates the system).
+//
+// Reduced default: 100/160 brokers. Expected shape: consolidation ratios
+// grow with network size — most of a sparse deployment is pure forwarding.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace greenps;
+using namespace greenps::bench;
+
+namespace {
+
+struct Scale {
+  std::size_t brokers;
+  std::size_t publishers;
+  std::size_t subs_per_publisher;
+};
+
+std::vector<Scale> scales() {
+  if (full_scale()) return {{400, 72, 225}, {1000, 100, 225}};
+  return {{100, 18, 40}, {160, 25, 40}};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: large-scale deployments %s\n\n",
+              full_scale() ? "[FULL SCALE: SciNet shape]"
+                           : "[reduced scale; GREENPS_FULL=1 for 400/1000 brokers]");
+  const std::vector<int> widths = {8, 6, 12, 10, 12, 12, 8};
+  print_row({"brokers", "subs", "approach", "alloc", "msg rate", "sys rate", "hops"},
+            widths);
+
+  for (const Scale& s : scales()) {
+    HarnessConfig cfg;
+    cfg.scenario.num_brokers = s.brokers;
+    cfg.scenario.num_publishers = s.publishers;
+    cfg.scenario.subs_per_publisher = s.subs_per_publisher;
+    cfg.scenario.full_out_bw_kb_s = full_scale() ? 300.0 : 40.0;
+    cfg.scenario.seed = 42;
+    cfg.profile_seconds = 90.0;
+    cfg.measure_seconds = full_scale() ? 60.0 : 120.0;
+    const std::size_t total = s.publishers * s.subs_per_publisher;
+    for (const Approach a :
+         {Approach::kManual, Approach::kAutomatic, Approach::kBinPacking, Approach::kCramIos}) {
+      const RunResult r = run_approach(a, cfg);
+      print_row({std::to_string(s.brokers), std::to_string(total), approach_name(a),
+                 std::to_string(r.summary.allocated_brokers),
+                 fmt(r.summary.avg_broker_msg_rate, 2), fmt(r.summary.system_msg_rate, 1),
+                 fmt(r.summary.avg_hop_count, 2)},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

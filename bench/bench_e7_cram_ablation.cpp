@@ -1,0 +1,104 @@
+// E7 — CRAM optimization ablation (Section IV-C.1..3).
+//
+// Quantifies each CRAM optimization on one gathered workload:
+//   opt 1 (GIF grouping):    pool reduction (paper: up to 61% on 8,000 subs)
+//   opt 2 (poset pruning):   closeness computations with/without pruning
+//                            (paper: ~5,000,000 -> ~280,000)
+//   opt 3 (one-to-many):     clusters/brokers with and without CGS clustering
+//   poset build time         (paper: 3,200 GIFs in ~2 s)
+#include <chrono>
+#include <cstdio>
+
+#include "alloc/gif.hpp"
+#include "bench_util.hpp"
+#include "poset/poset.hpp"
+#include "sweep_common.hpp"
+
+using namespace greenps;
+using namespace greenps::bench;
+
+int main() {
+  HarnessConfig cfg = homogeneous_base();
+  cfg.scenario.subs_per_publisher = full_scale() ? 200 : 100;
+  const std::size_t total = cfg.scenario.subs_per_publisher * cfg.scenario.num_publishers;
+  std::printf("E7: CRAM optimization ablation, %zu subscriptions %s\n\n", total,
+              full_scale() ? "[FULL SCALE]" : "[reduced scale]");
+
+  Simulation sim = make_simulation(cfg.scenario);
+  sim.run(cfg.profile_seconds);
+  const GatheredInfo info = gather_information(
+      sim.deployment().topology, BrokerId{0},
+      [&sim](BrokerId b) { return sim.broker_info(b); });
+  const auto pool = Croc::pool_from(info);
+  const auto units = Croc::units_from(info);
+
+  // --- opt 1: GIF grouping ---
+  {
+    const auto gifs = group_identical_filters(units);
+    const double reduction =
+        (1.0 - static_cast<double>(gifs.size()) / static_cast<double>(units.size())) * 100.0;
+    std::printf("opt1 GIF grouping: %zu subscriptions -> %zu GIFs (-%.0f%%; paper: up to -61%%)\n\n",
+                units.size(), gifs.size(), reduction);
+  }
+
+  // --- opt 2 + 3 grid ---
+  const std::vector<int> widths = {22, 10, 10, 16, 12, 10};
+  print_row({"variant", "brokers", "clusters", "closeness-comps", "one-to-many", "time(s)"},
+            widths);
+  struct Variant {
+    const char* name;
+    bool prune;
+    bool o2m;
+  };
+  for (const Variant v : {Variant{"full (opt1+2+3)", true, true},
+                          Variant{"no pruning (opt1+3)", false, true},
+                          Variant{"no one-to-many (1+2)", true, false},
+                          Variant{"pairwise only (opt1)", false, false}}) {
+    CramOptions opts;
+    opts.metric = ClosenessMetric::kIos;
+    opts.poset_pruning = v.prune;
+    opts.one_to_many = v.o2m;
+    const CramResult r = cram_allocate(pool, units, info.publisher_table, opts);
+    print_row({v.name, std::to_string(r.allocation.brokers_used()),
+               std::to_string(r.allocation.unit_count()),
+               std::to_string(r.stats.closeness_computations),
+               std::to_string(r.stats.one_to_many_applied), fmt(r.stats.total_seconds, 3)},
+              widths);
+  }
+
+  // --- no GIF grouping at all (opt 2 requires opt 1, so both are off) ---
+  {
+    CramOptions opts;
+    opts.metric = ClosenessMetric::kIos;
+    opts.gif_grouping = false;
+    opts.one_to_many = false;
+    const CramResult r = cram_allocate(pool, units, info.publisher_table, opts);
+    print_row({"no optimizations", std::to_string(r.allocation.brokers_used()),
+               std::to_string(r.allocation.unit_count()),
+               std::to_string(r.stats.closeness_computations), "0",
+               fmt(r.stats.total_seconds, 3)},
+              widths);
+  }
+
+  // --- poset build time ---
+  {
+    const std::size_t n = full_scale() ? 3200 : 1000;
+    Rng rng(9);
+    using Clock = std::chrono::steady_clock;
+    ProfilePoset poset;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      SubscriptionProfile p(256);
+      const auto from = rng.uniform_int(0, 4000);
+      const auto len = 1 + rng.uniform_int(0, 200);
+      for (MessageSeq s = from; s < from + len; ++s) {
+        p.record(AdvId{static_cast<std::uint64_t>(rng.index(8))}, s);
+      }
+      poset.insert(std::move(p), i);
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("\nposet build: %zu GIFs inserted in %.2f s (paper: 3,200 in ~2 s)\n", n,
+                secs);
+  }
+  return 0;
+}

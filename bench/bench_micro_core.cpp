@@ -1,0 +1,148 @@
+// E10 — Microbenchmarks of the core data structures (google-benchmark):
+// windowed bit vectors, closeness metrics, profile algebra, poset insertion
+// and the broker matching engine.
+#include <benchmark/benchmark.h>
+
+#include "alloc/gif.hpp"
+#include "common/rng.hpp"
+#include "matching/matching_engine.hpp"
+#include "poset/poset.hpp"
+#include "profile/closeness.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace greenps {
+namespace {
+
+SubscriptionProfile random_profile(Rng& rng, std::size_t bits, std::size_t advs = 4) {
+  SubscriptionProfile p(1280);
+  for (std::size_t i = 0; i < bits; ++i) {
+    p.record(AdvId{static_cast<std::uint64_t>(rng.index(advs))}, rng.uniform_int(0, 1279));
+  }
+  return p;
+}
+
+void BM_WindowedBitVectorRecord(benchmark::State& state) {
+  WindowedBitVector v;
+  MessageSeq seq = 0;
+  for (auto _ : state) {
+    v.record(seq);
+    seq += 3;  // periodic slide
+  }
+}
+BENCHMARK(BM_WindowedBitVectorRecord);
+
+void BM_WindowedBitVectorIntersect(benchmark::State& state) {
+  WindowedBitVector a, b;
+  for (MessageSeq s = 0; s < 1280; s += 2) a.record(s);
+  for (MessageSeq s = 0; s < 1280; s += 3) b.record(s + 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WindowedBitVector::intersect_count(a, b));
+  }
+}
+BENCHMARK(BM_WindowedBitVectorIntersect);
+
+void BM_Closeness(benchmark::State& state) {
+  Rng rng(1);
+  const auto metric = static_cast<ClosenessMetric>(state.range(0));
+  const auto a = random_profile(rng, 400);
+  const auto b = random_profile(rng, 400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(closeness(metric, a, b));
+  }
+}
+BENCHMARK(BM_Closeness)->DenseRange(0, 3)->ArgName("metric");
+
+void BM_ProfileMerge(benchmark::State& state) {
+  Rng rng(2);
+  const auto a = random_profile(rng, 400);
+  const auto b = random_profile(rng, 400);
+  for (auto _ : state) {
+    SubscriptionProfile m = a;
+    m.merge(b);
+    benchmark::DoNotOptimize(m.cardinality());
+  }
+}
+BENCHMARK(BM_ProfileMerge);
+
+void BM_ProfileRelation(benchmark::State& state) {
+  Rng rng(3);
+  const auto a = random_profile(rng, 400);
+  const auto b = random_profile(rng, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubscriptionProfile::relation(a, b));
+  }
+}
+BENCHMARK(BM_ProfileRelation);
+
+void BM_PosetInsert(benchmark::State& state) {
+  // The paper's claim: 3,200 GIF inserts in ~2 s.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(4);
+    std::vector<SubscriptionProfile> profiles;
+    profiles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      SubscriptionProfile p(256);
+      const auto from = rng.uniform_int(0, 4000);
+      const auto len = 1 + rng.uniform_int(0, 150);
+      for (MessageSeq s = from; s < from + len; ++s) {
+        p.record(AdvId{static_cast<std::uint64_t>(rng.index(8))}, s);
+      }
+      profiles.push_back(std::move(p));
+    }
+    state.ResumeTiming();
+    ProfilePoset poset;
+    for (std::size_t i = 0; i < n; ++i) poset.insert(profiles[i], i);
+    benchmark::DoNotOptimize(poset.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PosetInsert)->Arg(400)->Arg(1600)->Arg(3200)->Unit(benchmark::kMillisecond);
+
+void BM_GifGrouping(benchmark::State& state) {
+  Rng rng(5);
+  PublisherTable table;
+  table[AdvId{0}] = PublisherProfile{AdvId{0}, 100.0, 100.0, 100000};
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    SubscriptionProfile p(128);
+    const auto group = rng.index(200);  // ~10 identical units per group
+    for (MessageSeq s = 0; s < 40; ++s) {
+      p.record(AdvId{0}, static_cast<MessageSeq>(group) * 50 + s);
+    }
+    units.push_back(make_subscription_unit(SubId{i}, std::move(p), table));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_identical_filters(units).size());
+  }
+}
+BENCHMARK(BM_GifGrouping)->Unit(benchmark::kMillisecond);
+
+void BM_MatchingEngine(benchmark::State& state) {
+  Rng rng(6);
+  StockQuoteGenerator quotes(StockQuoteGenerator::Config{}, rng.fork());
+  SubscriptionGenerator subs(SubscriptionGenerator::Config{}, rng.fork());
+  MatchingEngine engine;
+  MatchingEngine::Handle h = 0;
+  std::vector<std::string> symbols;
+  for (int i = 0; i < 40; ++i) symbols.push_back("SYM" + std::to_string(i));
+  for (const auto& sym : symbols) {
+    for (const Filter& f : subs.batch(sym, static_cast<std::size_t>(state.range(0)) / 40,
+                                      quotes)) {
+      engine.insert(h++, f);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Publication pub = quotes.next(symbols[i++ % symbols.size()]);
+    benchmark::DoNotOptimize(engine.match(pub).size());
+  }
+  state.SetLabel(std::to_string(engine.size()) + " filters");
+}
+BENCHMARK(BM_MatchingEngine)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace greenps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "croc/reconfig_plan.hpp"
+
+namespace greenps::bench {
+
+const char* approach_name(Approach a) {
+  switch (a) {
+    case Approach::kManual: return "MANUAL";
+    case Approach::kAutomatic: return "AUTOMATIC";
+    case Approach::kPairwiseK: return "PAIRWISE-K";
+    case Approach::kPairwiseN: return "PAIRWISE-N";
+    case Approach::kFbf: return "FBF";
+    case Approach::kBinPacking: return "BINPACKING";
+    case Approach::kCramIntersect: return "CRAM-INT";
+    case Approach::kCramXor: return "CRAM-XOR";
+    case Approach::kCramIos: return "CRAM-IOS";
+    case Approach::kCramIou: return "CRAM-IOU";
+  }
+  return "?";
+}
+
+std::vector<Approach> all_approaches() {
+  return {Approach::kManual,     Approach::kAutomatic,     Approach::kPairwiseK,
+          Approach::kPairwiseN,  Approach::kFbf,           Approach::kBinPacking,
+          Approach::kCramIntersect, Approach::kCramXor,    Approach::kCramIos,
+          Approach::kCramIou};
+}
+
+std::vector<Approach> proposed_approaches() {
+  return {Approach::kFbf, Approach::kBinPacking, Approach::kCramIntersect,
+          Approach::kCramXor, Approach::kCramIos, Approach::kCramIou};
+}
+
+bool full_scale() {
+  const char* v = std::getenv("GREENPS_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+CrocConfig croc_config_for(Approach a, std::uint64_t seed) {
+  CrocConfig cfg;
+  cfg.seed = seed;
+  switch (a) {
+    case Approach::kPairwiseK:
+      cfg.algorithm = Phase2Algorithm::kPairwiseK;
+      break;
+    case Approach::kPairwiseN:
+      cfg.algorithm = Phase2Algorithm::kPairwiseN;
+      break;
+    case Approach::kFbf:
+      cfg.algorithm = Phase2Algorithm::kFbf;
+      break;
+    case Approach::kBinPacking:
+      cfg.algorithm = Phase2Algorithm::kBinPacking;
+      break;
+    case Approach::kCramIntersect:
+      cfg.algorithm = Phase2Algorithm::kCram;
+      cfg.cram.metric = ClosenessMetric::kIntersect;
+      break;
+    case Approach::kCramXor:
+      cfg.algorithm = Phase2Algorithm::kCram;
+      cfg.cram.metric = ClosenessMetric::kXor;
+      break;
+    case Approach::kCramIos:
+      cfg.algorithm = Phase2Algorithm::kCram;
+      cfg.cram.metric = ClosenessMetric::kIos;
+      break;
+    case Approach::kCramIou:
+      cfg.algorithm = Phase2Algorithm::kCram;
+      cfg.cram.metric = ClosenessMetric::kIou;
+      break;
+    case Approach::kManual:
+    case Approach::kAutomatic:
+      break;  // no reconfiguration
+  }
+  return cfg;
+}
+
+RunResult run_approach(Approach a, const HarnessConfig& cfg) {
+  RunResult result;
+  result.approach = a;
+
+  ScenarioConfig sc = cfg.scenario;
+  // MANUAL forms the initial overlay for every approach; AUTOMATIC is the
+  // other deploy-only baseline.
+  sc.placement =
+      a == Approach::kAutomatic ? InitialPlacement::kAutomatic : InitialPlacement::kManual;
+  Simulation sim = make_simulation(sc);
+
+  if (a == Approach::kManual || a == Approach::kAutomatic) {
+    sim.run(cfg.profile_seconds);  // warm-up for parity with the others
+    sim.reset_metrics();
+    sim.run(cfg.measure_seconds);
+    result.summary = sim.summarize();
+    return result;
+  }
+
+  sim.run(cfg.profile_seconds);
+  Croc croc(croc_config_for(a, sc.seed));
+  result.report = croc.reconfigure(sim, BrokerId{0});
+  if (!result.report.success) {
+    std::fprintf(stderr, "[bench] %s reconfiguration failed\n", approach_name(a));
+    result.summary = sim.summarize();
+    return result;
+  }
+  sim.redeploy(apply_plan(sim.deployment(), result.report.plan));
+  result.reconfigured = true;
+  sim.run(cfg.measure_seconds);
+  result.summary = sim.summarize();
+  return result;
+}
+
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    os << (i == 0 ? "" : "  ");
+    const std::string& c = cells[i];
+    if (static_cast<int>(c.size()) < w) {
+      os << std::string(static_cast<std::size_t>(w) - c.size(), ' ');
+    }
+    os << c;
+  }
+  std::printf("%s\n", os.str().c_str());
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string pct_change(double baseline, double value) {
+  if (baseline <= 0) return "n/a";
+  // Rendered as change relative to the baseline: "-92%" = 92% lower.
+  const double reduction = (baseline - value) / baseline * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%.0f%%", reduction >= 0 ? "-" : "+",
+                reduction >= 0 ? reduction : -reduction);
+  return buf;
+}
+
+}  // namespace greenps::bench

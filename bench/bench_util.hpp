@@ -1,0 +1,63 @@
+// Shared harness for the experiment benches (E1-E9).
+//
+// Runs one evaluated approach end-to-end: deploy the MANUAL baseline,
+// profile, reconfigure with CROC (except for the MANUAL/AUTOMATIC
+// baselines), then measure a fresh window and report the paper's metrics.
+//
+// Scale: benches default to a reduced-but-shape-preserving configuration so
+// the whole suite finishes in minutes; set GREENPS_FULL=1 for the paper's
+// cluster-testbed scale (80 brokers, 40 publishers, 2,000-8,000
+// subscriptions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "croc/croc.hpp"
+#include "scenario/scenario.hpp"
+
+namespace greenps::bench {
+
+enum class Approach {
+  kManual,
+  kAutomatic,
+  kPairwiseK,
+  kPairwiseN,
+  kFbf,
+  kBinPacking,
+  kCramIntersect,
+  kCramXor,
+  kCramIos,
+  kCramIou,
+};
+
+[[nodiscard]] const char* approach_name(Approach a);
+[[nodiscard]] std::vector<Approach> all_approaches();
+[[nodiscard]] std::vector<Approach> proposed_approaches();  // FBF..CRAM-IOU
+
+struct HarnessConfig {
+  ScenarioConfig scenario;
+  double profile_seconds = 90.0;
+  double measure_seconds = 120.0;
+};
+
+struct RunResult {
+  Approach approach = Approach::kManual;
+  SimSummary summary;
+  ReconfigurationReport report;  // success=false for MANUAL/AUTOMATIC
+  bool reconfigured = false;
+};
+
+[[nodiscard]] RunResult run_approach(Approach a, const HarnessConfig& cfg);
+
+// Map an approach to a CROC configuration (for the reconfiguring ones).
+[[nodiscard]] CrocConfig croc_config_for(Approach a, std::uint64_t seed);
+
+[[nodiscard]] bool full_scale();
+
+// Column-aligned table printing.
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths);
+[[nodiscard]] std::string fmt(double v, int precision = 1);
+[[nodiscard]] std::string pct_change(double baseline, double value);
+
+}  // namespace greenps::bench

@@ -1,0 +1,37 @@
+// Shared sweep configuration for the homogeneous cluster-testbed
+// experiments (E1-E3): the paper's 80-broker / 40-publisher setup with
+// 2,000-8,000 subscriptions, or a reduced shape-preserving default.
+#pragma once
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace greenps::bench {
+
+inline HarnessConfig homogeneous_base() {
+  HarnessConfig h;
+  ScenarioConfig& sc = h.scenario;
+  if (full_scale()) {
+    sc.num_brokers = 80;
+    sc.num_publishers = 40;
+    sc.full_out_bw_kb_s = 300.0;
+    h.profile_seconds = 90.0;
+    h.measure_seconds = 180.0;
+  } else {
+    sc.num_brokers = 40;
+    sc.num_publishers = 10;
+    sc.full_out_bw_kb_s = 30.0;
+    h.profile_seconds = 90.0;
+    h.measure_seconds = 120.0;
+  }
+  sc.seed = 42;
+  return h;
+}
+
+inline std::vector<std::size_t> subs_per_publisher_sweep() {
+  if (full_scale()) return {50, 100, 150, 200};  // 2,000..8,000 subscriptions
+  return {25, 50, 75, 100};                      // 250..1,000 subscriptions
+}
+
+}  // namespace greenps::bench

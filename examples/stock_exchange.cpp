@@ -1,0 +1,103 @@
+// Stock-exchange dissemination: the paper's motivating scenario
+// (SuperMontage-style quote distribution) with a side-by-side tour of every
+// allocation approach on the same profiled workload.
+//
+// Usage: ./build/examples/stock_exchange [subs_per_publisher]
+#include <cstdio>
+#include <cstdlib>
+
+#include "croc/croc.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace greenps;
+
+namespace {
+
+struct Row {
+  std::string name;
+  CrocConfig config;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig config;
+  config.num_brokers = 32;
+  config.num_publishers = 8;
+  config.subs_per_publisher = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  config.full_out_bw_kb_s = 40.0;
+  config.seed = 7;
+
+  std::printf("stock exchange: %zu symbols, %zu subscriptions over %zu brokers\n\n",
+              config.num_publishers, config.num_publishers * config.subs_per_publisher,
+              config.num_brokers);
+
+  std::vector<Row> rows;
+  {
+    Row r{"FBF", {}};
+    r.config.algorithm = Phase2Algorithm::kFbf;
+    rows.push_back(r);
+  }
+  {
+    Row r{"BIN PACKING", {}};
+    r.config.algorithm = Phase2Algorithm::kBinPacking;
+    rows.push_back(r);
+  }
+  for (const auto metric : {ClosenessMetric::kIntersect, ClosenessMetric::kXor,
+                            ClosenessMetric::kIos, ClosenessMetric::kIou}) {
+    Row r{std::string("CRAM-") + metric_name(metric), {}};
+    r.config.algorithm = Phase2Algorithm::kCram;
+    r.config.cram.metric = metric;
+    rows.push_back(r);
+  }
+  {
+    Row r{"PAIRWISE-K", {}};
+    r.config.algorithm = Phase2Algorithm::kPairwiseK;
+    rows.push_back(r);
+  }
+  {
+    Row r{"PAIRWISE-N", {}};
+    r.config.algorithm = Phase2Algorithm::kPairwiseN;
+    rows.push_back(r);
+  }
+
+  std::printf("%-14s %8s %9s %10s %8s %10s %10s\n", "approach", "brokers", "clusters",
+              "sys msg/s", "hops", "delay ms", "util %");
+
+  // Baseline measurement.
+  {
+    Simulation sim = make_simulation(config);
+    sim.run(60.0);
+    sim.reset_metrics();
+    sim.run(120.0);
+    const SimSummary s = sim.summarize();
+    std::printf("%-14s %8zu %9s %10.1f %8.2f %10.2f %10.1f\n", "MANUAL",
+                s.allocated_brokers, "-", s.system_msg_rate, s.avg_hop_count,
+                s.avg_delivery_delay_ms, s.avg_output_utilization * 100.0);
+  }
+
+  for (const Row& row : rows) {
+    Simulation sim = make_simulation(config);
+    sim.run(60.0);
+    Croc croc(row.config);
+    const ReconfigurationReport report = croc.reconfigure(sim, BrokerId{0});
+    if (!report.success) {
+      std::printf("%-14s reconfiguration failed\n", row.name.c_str());
+      continue;
+    }
+    sim.redeploy(apply_plan(sim.deployment(), report.plan));
+    sim.run(120.0);
+    const SimSummary s = sim.summarize();
+    std::printf("%-14s %8zu %9zu %10.1f %8.2f %10.2f %10.1f\n", row.name.c_str(),
+                s.allocated_brokers, report.cluster_count, s.system_msg_rate,
+                s.avg_hop_count, s.avg_delivery_delay_ms,
+                s.avg_output_utilization * 100.0);
+  }
+
+  std::printf(
+      "\nreading the table: capacity-aware approaches consolidate to a handful of\n"
+      "brokers; CRAM variants additionally cluster same-interest subscribers, so\n"
+      "their system message rate is the lowest; XOR's cap-and-merge behavior can\n"
+      "cluster disjoint interests (higher rate than IOS/IOU).\n");
+  return 0;
+}

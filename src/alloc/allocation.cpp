@@ -1,0 +1,75 @@
+#include "alloc/allocation.hpp"
+
+namespace greenps {
+
+std::size_t Allocation::unit_count() const {
+  std::size_t n = 0;
+  for (const auto& b : brokers) n += b.units().size();
+  return n;
+}
+
+std::size_t Allocation::endpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& b : brokers) {
+    for (const auto& u : b.units()) n += u.endpoint_count();
+  }
+  return n;
+}
+
+MsgRate Allocation::total_in_rate() const {
+  MsgRate r = 0;
+  for (const auto& b : brokers) r += b.in_rate();
+  return r;
+}
+
+PackProbe first_fit_probe(const std::vector<AllocBroker>& pool,
+                          const std::vector<const SubUnit*>& units,
+                          const PublisherTable& table) {
+  PackProbe probe;
+  std::vector<BrokerLoad> loads;
+  loads.reserve(pool.size());
+  for (const AllocBroker& b : pool) loads.emplace_back(b, /*keep_units=*/false);
+  for (const SubUnit* u : units) {
+    bool placed = false;
+    for (BrokerLoad& load : loads) {
+      if (load.fits(*u, table)) {
+        load.add(*u, table);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return probe;
+  }
+  for (const BrokerLoad& load : loads) {
+    if (!load.empty()) probe.brokers_used += 1;
+  }
+  probe.success = true;
+  return probe;
+}
+
+Allocation first_fit(const std::vector<AllocBroker>& pool, const std::vector<SubUnit>& units,
+                     const PublisherTable& table) {
+  Allocation result;
+  std::vector<BrokerLoad> loads;
+  loads.reserve(pool.size());
+  for (const AllocBroker& b : pool) loads.emplace_back(b);
+
+  for (const SubUnit& u : units) {
+    bool placed = false;
+    for (BrokerLoad& load : loads) {
+      if (load.fits(u, table)) {
+        load.add(u, table);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return result;  // success stays false
+  }
+  for (BrokerLoad& load : loads) {
+    if (!load.empty()) result.brokers.push_back(std::move(load));
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace greenps

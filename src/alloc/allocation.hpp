@@ -1,0 +1,44 @@
+// Allocation result type and the shared first-fit core used by FBF,
+// BIN PACKING and (as its inner allocation test) CRAM.
+#pragma once
+
+#include <vector>
+
+#include "alloc/broker_pool.hpp"
+
+namespace greenps {
+
+struct Allocation {
+  bool success = false;
+  // One entry per broker that received at least one unit.
+  std::vector<BrokerLoad> brokers;
+
+  [[nodiscard]] std::size_t brokers_used() const { return brokers.size(); }
+  [[nodiscard]] std::size_t unit_count() const;
+  [[nodiscard]] std::size_t endpoint_count() const;
+  // Sum over brokers of their union-profile input rate — proportional to
+  // the total publication traffic entering the broker tier.
+  [[nodiscard]] MsgRate total_in_rate() const;
+};
+
+// Place `units` (in the given order) onto `pool` (tried in the given order,
+// which callers pre-sort by descending capacity): each unit goes to the
+// first broker that passes the allocation test. Fails if any unit fits
+// nowhere — "the algorithm ends ... if at least one subscription cannot be
+// allocated to any broker".
+[[nodiscard]] Allocation first_fit(const std::vector<AllocBroker>& pool,
+                                   const std::vector<SubUnit>& units,
+                                   const PublisherTable& table);
+
+// Copy-free feasibility probe of the same packing (CRAM runs it after every
+// clustering attempt, so it must not copy the pool of units).
+struct PackProbe {
+  bool success = false;
+  std::size_t brokers_used = 0;
+};
+
+[[nodiscard]] PackProbe first_fit_probe(const std::vector<AllocBroker>& pool,
+                                        const std::vector<const SubUnit*>& units,
+                                        const PublisherTable& table);
+
+}  // namespace greenps

@@ -1,0 +1,43 @@
+#include "alloc/bin_packing.hpp"
+
+#include <algorithm>
+
+namespace greenps {
+
+namespace {
+std::uint64_t tiebreak_key(const SubUnit& u) {
+  if (!u.members.empty()) return u.members.front().value();
+  if (!u.child_members.empty()) return u.child_members.front().value();
+  return 0;
+}
+}  // namespace
+
+void sort_units_by_bandwidth_desc(std::vector<SubUnit>& units) {
+  std::sort(units.begin(), units.end(), [](const SubUnit& a, const SubUnit& b) {
+    if (a.out_bw != b.out_bw) return a.out_bw > b.out_bw;
+    return tiebreak_key(a) < tiebreak_key(b);
+  });
+}
+
+void sort_units_by_bandwidth_desc(std::vector<const SubUnit*>& units) {
+  std::sort(units.begin(), units.end(), [](const SubUnit* a, const SubUnit* b) {
+    if (a->out_bw != b->out_bw) return a->out_bw > b->out_bw;
+    return tiebreak_key(*a) < tiebreak_key(*b);
+  });
+}
+
+PackProbe bin_packing_probe(std::vector<AllocBroker> pool, std::vector<const SubUnit*> units,
+                            const PublisherTable& table) {
+  sort_by_capacity_desc(pool);
+  sort_units_by_bandwidth_desc(units);
+  return first_fit_probe(pool, units, table);
+}
+
+Allocation bin_packing_allocate(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
+                                const PublisherTable& table) {
+  sort_by_capacity_desc(pool);
+  sort_units_by_bandwidth_desc(units);
+  return first_fit(pool, units, table);
+}
+
+}  // namespace greenps

@@ -1,0 +1,26 @@
+// BIN PACKING (Section IV-B): like FBF but subscriptions are first sorted
+// by descending bandwidth requirement (first-fit-decreasing). O(S log S);
+// consistently allocates about one broker fewer than FBF.
+#pragma once
+
+#include "alloc/allocation.hpp"
+
+namespace greenps {
+
+[[nodiscard]] Allocation bin_packing_allocate(std::vector<AllocBroker> pool,
+                                              std::vector<SubUnit> units,
+                                              const PublisherTable& table);
+
+// Sort units by descending output-bandwidth requirement (stable tiebreak on
+// first member id for determinism). Exposed for CRAM, which re-runs
+// BIN PACKING as its allocation test.
+void sort_units_by_bandwidth_desc(std::vector<SubUnit>& units);
+void sort_units_by_bandwidth_desc(std::vector<const SubUnit*>& units);
+
+// Copy-free BIN PACKING feasibility probe (pool must already be capacity
+// sorted by the caller or not — it is re-sorted internally).
+[[nodiscard]] PackProbe bin_packing_probe(std::vector<AllocBroker> pool,
+                                          std::vector<const SubUnit*> units,
+                                          const PublisherTable& table);
+
+}  // namespace greenps

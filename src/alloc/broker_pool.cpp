@@ -1,0 +1,37 @@
+#include "alloc/broker_pool.hpp"
+
+#include <algorithm>
+
+namespace greenps {
+
+void sort_by_capacity_desc(std::vector<AllocBroker>& brokers) {
+  std::sort(brokers.begin(), brokers.end(), [](const AllocBroker& a, const AllocBroker& b) {
+    if (a.out_bw != b.out_bw) return a.out_bw > b.out_bw;
+    return a.id < b.id;
+  });
+}
+
+bool BrokerLoad::fits(const SubUnit& u, const PublisherTable& table) const {
+  // Output bandwidth: remaining must stay strictly positive.
+  if (broker_.out_bw - (used_bw_ + u.out_bw) <= 0) return false;
+  // Input rate of the union of hosted profiles, computed incrementally:
+  // r(U ∪ u) = r(U) + r(u) − r(U ∩ u).
+  const MsgRate new_in =
+      in_rate_ + u.in_rate - SubscriptionProfile::intersection_rate(union_profile_, u.profile, table);
+  const std::size_t new_filters = filter_count_ + u.filter_count;
+  return new_in <= broker_.delay.max_matching_rate(new_filters);
+}
+
+void BrokerLoad::add(const SubUnit& u, const PublisherTable& table) {
+  // Incremental union rate (same formula as fits(), so accept decisions and
+  // accounting agree): r(U ∪ u) = r(U) + r(u) − r(U ∩ u).
+  in_rate_ +=
+      u.in_rate - SubscriptionProfile::intersection_rate(union_profile_, u.profile, table);
+  union_profile_.merge(u.profile);
+  used_bw_ += u.out_bw;
+  filter_count_ += u.filter_count;
+  unit_count_ += 1;
+  if (keep_units_) units_.push_back(u);
+}
+
+}  // namespace greenps

@@ -1,0 +1,70 @@
+// Broker capacity views and running load state used by the Phase-2
+// allocators.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "matching/delay_model.hpp"
+#include "profile/sub_unit.hpp"
+
+namespace greenps {
+
+// What CROC knows about a broker from its BIA (Section III-A): identity,
+// total output bandwidth, and the matching delay function.
+struct AllocBroker {
+  BrokerId id;
+  Bandwidth out_bw = 0;
+  MatchingDelayFunction delay;
+};
+
+// Sort descending by output bandwidth ("descending resource capacity"),
+// ties broken by id for determinism.
+void sort_by_capacity_desc(std::vector<AllocBroker>& brokers);
+
+// Load assigned to one broker during an allocation run. Tracks the union
+// profile of hosted units so the incoming publication rate counts shared
+// traffic once.
+class BrokerLoad {
+ public:
+  // `keep_units=false` turns the load into a dry-run accumulator: capacity
+  // accounting runs as usual but accepted units are not retained (used by
+  // CRAM's allocation test, which only needs feasibility + broker count).
+  explicit BrokerLoad(AllocBroker broker, bool keep_units = true)
+      : broker_(broker), keep_units_(keep_units) {}
+
+  // Allocation test (Section IV-A): after accepting `u`, remaining output
+  // bandwidth must stay > 0 and the incoming publication rate must not
+  // exceed the maximum matching rate at the new filter count.
+  [[nodiscard]] bool fits(const SubUnit& u, const PublisherTable& table) const;
+
+  // Accept `u` (caller checked fits()).
+  void add(const SubUnit& u, const PublisherTable& table);
+
+  [[nodiscard]] const AllocBroker& broker() const { return broker_; }
+  [[nodiscard]] const std::vector<SubUnit>& units() const { return units_; }
+  [[nodiscard]] std::vector<SubUnit>& mutable_units() { return units_; }
+  [[nodiscard]] Bandwidth used_bw() const { return used_bw_; }
+  [[nodiscard]] Bandwidth remaining_bw() const { return broker_.out_bw - used_bw_; }
+  [[nodiscard]] MsgRate in_rate() const { return in_rate_; }
+  [[nodiscard]] std::size_t filter_count() const { return filter_count_; }
+  [[nodiscard]] const SubscriptionProfile& union_profile() const { return union_profile_; }
+  [[nodiscard]] bool empty() const { return unit_count_ == 0; }
+
+  // Fraction of output bandwidth in use.
+  [[nodiscard]] double utilization() const {
+    return broker_.out_bw > 0 ? used_bw_ / broker_.out_bw : 0.0;
+  }
+
+ private:
+  AllocBroker broker_;
+  std::vector<SubUnit> units_;
+  SubscriptionProfile union_profile_;
+  Bandwidth used_bw_ = 0;
+  MsgRate in_rate_ = 0;
+  std::size_t filter_count_ = 0;
+  std::size_t unit_count_ = 0;
+  bool keep_units_ = true;
+};
+
+}  // namespace greenps

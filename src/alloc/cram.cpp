@@ -1,0 +1,607 @@
+#include "alloc/cram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "alloc/bin_packing.hpp"
+#include "common/logging.hpp"
+#include "poset/poset.hpp"
+
+namespace greenps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+class CramRun {
+ public:
+  CramRun(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
+          const PublisherTable& table, const CramOptions& opts)
+      : pool_(std::move(pool)), table_(table), opts_(opts) {
+    sort_by_capacity_desc(pool_);
+    stats_.initial_units = units.size();
+    std::vector<Gif> grouped = opts_.gif_grouping ? group_identical_filters(std::move(units))
+                                                  : singleton_gifs(std::move(units));
+    stats_.gif_count = grouped.size();
+    next_id_ = grouped.size();
+    for (auto& g : grouped) {
+      const std::uint64_t id = g.id;
+      gifs_.emplace(id, std::move(g));
+    }
+  }
+
+  CramResult run() {
+    const auto t0 = Clock::now();
+    // Initialization: allocate without clustering; abort if impossible.
+    const PackProbe init = probe_allocation();
+    if (!init.success) {
+      CramResult r;
+      r.stats = stats_;
+      r.stats.total_seconds = seconds_since(t0);
+      return r;
+    }
+    best_brokers_ = init.brokers_used;
+
+    // Build the poset over GIFs (optimization 2).
+    const auto tp = Clock::now();
+    if (opts_.poset_pruning) {
+      for (const auto& [id, g] : gifs_) {
+        const auto ins = poset_.insert(g.profile, id);
+        assert(ins.inserted || !opts_.gif_grouping);
+        node_of_[id] = ins.node;
+      }
+    }
+    stats_.poset_build_seconds = seconds_since(tp);
+
+    // Prime the best-partner cache.
+    for (const auto& [id, g] : gifs_) {
+      (void)g;
+      dirty_.insert(id);
+    }
+
+    while (stats_.iterations < opts_.max_iterations) {
+      refresh_dirty();
+      const auto pick = pick_global_best();
+      if (!pick) break;
+      ++stats_.iterations;
+      const auto [gid, cand] = *pick;
+      if (gid == cand.partner) {
+        try_self_cluster(gid);
+      } else {
+        try_pair(gid, cand.partner, cand.closeness);
+      }
+    }
+
+    CramResult r;
+    // The pool state always matches the last successful allocation (failed
+    // clusterings are reverted), so one final packing materializes it.
+    r.allocation = bin_packing_allocate(pool_, flatten(), table_);
+    assert(r.allocation.success);
+    r.stats = stats_;
+    r.stats.final_units = r.allocation.unit_count();
+    r.stats.total_seconds = seconds_since(t0);
+    return r;
+  }
+
+ private:
+  struct Candidate {
+    std::uint64_t partner = 0;
+    double closeness = 0;
+  };
+
+  // ---- bookkeeping ----
+
+  Gif& gif(std::uint64_t id) {
+    const auto it = gifs_.find(id);
+    assert(it != gifs_.end());
+    return it->second;
+  }
+
+  double close(const SubscriptionProfile& a, const SubscriptionProfile& b) {
+    ++stats_.closeness_computations;
+    return closeness(opts_.metric, a, b);
+  }
+
+  static std::uint64_t pair_key(std::uint64_t a, std::uint64_t b) {
+    if (a > b) std::swap(a, b);
+    return (a << 32) ^ b;
+  }
+  [[nodiscard]] bool blacklisted(std::uint64_t a, std::uint64_t b) const {
+    return blacklist_.contains(pair_key(a, b));
+  }
+  void add_blacklist(std::uint64_t a, std::uint64_t b) {
+    blacklist_.insert(pair_key(a, b));
+    dirty_.insert(a);
+    dirty_.insert(b);
+  }
+
+  std::vector<SubUnit> flatten() const {
+    std::vector<SubUnit> all;
+    for (const auto& [id, g] : gifs_) {
+      (void)id;
+      all.insert(all.end(), g.units.begin(), g.units.end());
+    }
+    return all;
+  }
+
+  // CRAM's allocation test: a copy-free BIN PACKING feasibility probe.
+  // Broker minimization is CRAM's primary objective, so a clustering whose
+  // re-packed allocation needs MORE brokers than the last recorded scheme
+  // also fails (clusters are indivisible and can fragment FFD packing).
+  PackProbe probe_allocation() {
+    ++stats_.allocation_runs;
+    std::vector<const SubUnit*> units;
+    for (const auto& [id, g] : gifs_) {
+      (void)id;
+      for (const SubUnit& u : g.units) units.push_back(&u);
+    }
+    PackProbe probe = bin_packing_probe(pool_, std::move(units), table_);
+    if (probe.success && best_brokers_ > 0 && probe.brokers_used > best_brokers_) {
+      probe.success = false;
+    }
+    return probe;
+  }
+
+  // Register a brand-new gif holding `unit` (profile may equal an existing
+  // gif's, in which case the unit joins that gif). Returns the gif id the
+  // unit ended up in.
+  std::uint64_t commit_new_unit(SubUnit unit) {
+    if (opts_.poset_pruning) {
+      const std::uint64_t id = next_id_++;
+      const auto ins = poset_.insert(unit.profile, id);
+      if (!ins.inserted) {
+        const std::uint64_t existing = poset_.payload(ins.node);
+        Gif& g = gif(existing);
+        g.units.push_back(std::move(unit));
+        g.sort_units();
+        dirty_.insert(existing);
+        return existing;
+      }
+      Gif g;
+      g.id = id;
+      g.profile = unit.profile;
+      g.units.push_back(std::move(unit));
+      gifs_.emplace(id, std::move(g));
+      node_of_[id] = ins.node;
+      dirty_.insert(id);
+      return id;
+    }
+    // No poset: look for an equal gif by scan (grouping may be off too, in
+    // which case every unit is its own gif and we still merge equal bits to
+    // keep the pool small).
+    for (auto& [id, g] : gifs_) {
+      if (opts_.gif_grouping && SubscriptionProfile::same_bits(g.profile, unit.profile)) {
+        g.units.push_back(std::move(unit));
+        g.sort_units();
+        dirty_.insert(id);
+        return id;
+      }
+    }
+    const std::uint64_t id = next_id_++;
+    Gif g;
+    g.id = id;
+    g.profile = unit.profile;
+    g.units.push_back(std::move(unit));
+    gifs_.emplace(id, std::move(g));
+    dirty_.insert(id);
+    return id;
+  }
+
+  void remove_gif(std::uint64_t id) {
+    if (opts_.poset_pruning) {
+      const auto it = node_of_.find(id);
+      if (it != node_of_.end()) {
+        poset_.remove(it->second);
+        node_of_.erase(it);
+      }
+    }
+    gifs_.erase(id);
+    best_.erase(id);
+    dirty_.erase(id);
+    // Anyone whose cached partner was this gif must re-search.
+    for (const auto& [other, cand] : best_) {
+      if (cand.partner == id) dirty_.insert(other);
+    }
+  }
+
+  // ---- candidate search ----
+
+  void refresh_dirty() {
+    for (const std::uint64_t id : dirty_) {
+      const auto it = gifs_.find(id);
+      if (it == gifs_.end()) continue;
+      const auto cand = find_best_partner(id);
+      if (cand) {
+        best_[id] = *cand;
+      } else {
+        best_.erase(id);
+      }
+    }
+    dirty_.clear();
+  }
+
+  std::optional<std::pair<std::uint64_t, Candidate>> pick_global_best() const {
+    std::optional<std::pair<std::uint64_t, Candidate>> best;
+    for (const auto& [id, cand] : best_) {
+      if (!best || cand.closeness > best->second.closeness ||
+          (cand.closeness == best->second.closeness && id < best->first)) {
+        best = {id, cand};
+      }
+    }
+    return best;
+  }
+
+  std::optional<Candidate> find_best_partner(std::uint64_t id) {
+    const Gif& g = gif(id);
+    std::optional<Candidate> best;
+    auto consider = [&](std::uint64_t other, double c) {
+      if (c <= 0) return;
+      if (blacklisted(id, other)) return;
+      if (!best || c > best->closeness ||
+          (c == best->closeness && other < best->partner)) {
+        best = Candidate{other, c};
+      }
+      // Symmetric improvement propagation: a freshly computed closeness may
+      // beat `other`'s cached candidate.
+      if (other != id) {
+        const auto it = best_.find(other);
+        if (it != best_.end() && c > it->second.closeness && !blacklisted(other, id)) {
+          it->second = Candidate{id, c};
+        }
+      }
+    };
+
+    // Self pair: a GIF with two or more units can cluster with itself.
+    if (g.units.size() >= 2) consider(id, close(g.profile, g.profile));
+
+    if (!opts_.poset_pruning) {
+      for (const auto& [other, og] : gifs_) {
+        if (other == id) continue;
+        consider(other, close(g.profile, og.profile));
+      }
+      return best;
+    }
+
+    // Poset-guided breadth-first search (optimization 2): prune subtrees
+    // with empty relation (closeness 0 under INTERSECT/IOS/IOU) and stop
+    // descending once the closeness value starts to decrease. XOR admits
+    // neither prune, so it degenerates to a full walk.
+    const bool prunes = metric_prunes_empty(opts_.metric);
+    struct Item {
+      ProfilePoset::NodeId node;
+      double parent_c;
+    };
+    std::vector<Item> queue;
+    std::unordered_set<ProfilePoset::NodeId> seen;
+    for (const auto c : poset_.children(ProfilePoset::kRoot)) {
+      queue.push_back({c, -1.0});
+      seen.insert(c);
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Item item = queue[head];
+      const std::uint64_t other = poset_.payload(item.node);
+      const auto oit = gifs_.find(other);
+      if (oit == gifs_.end()) continue;
+      const double c = close(g.profile, oit->second.profile);
+      if (other != id) consider(other, c);
+      bool descend = true;
+      if (prunes) {
+        if (c == 0.0 && other != id) descend = false;          // empty relation
+        if (descend && c < item.parent_c) descend = false;     // started decreasing
+      }
+      if (descend) {
+        for (const auto ch : poset_.children(item.node)) {
+          if (seen.insert(ch).second) queue.push_back({ch, c});
+        }
+      }
+    }
+    return best;
+  }
+
+  // ---- clustering actions ----
+
+  // Try clustering within one GIF (equal relation, Section IV-C.1): find by
+  // binary search the largest k such that merging the k lightest units
+  // still allocates.
+  void try_self_cluster(std::uint64_t gid) {
+    Gif& g = gif(gid);
+    const std::size_t n = g.units.size();
+    assert(n >= 2);
+    auto test_k = [&](std::size_t k) -> PackProbe {
+      const Gif saved = g;
+      SubUnit merged = g.units[0];
+      for (std::size_t i = 1; i < k; ++i) merged = cluster_units(merged, g.units[i], table_);
+      g.units.erase(g.units.begin(), g.units.begin() + static_cast<std::ptrdiff_t>(k));
+      g.units.push_back(std::move(merged));
+      g.sort_units();
+      const PackProbe probe = probe_allocation();
+      g = saved;
+      return probe;
+    };
+    if (!test_k(2).success) {
+      ++stats_.clusterings_rejected;
+      add_blacklist(gid, gid);
+      return;
+    }
+    std::size_t lo = 2;
+    std::size_t hi = n;
+    PackProbe winning = test_k(2);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      const PackProbe probe = test_k(mid);
+      if (probe.success) {
+        lo = mid;
+        winning = probe;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    // Commit k = lo.
+    SubUnit merged = g.units[0];
+    for (std::size_t i = 1; i < lo; ++i) merged = cluster_units(merged, g.units[i], table_);
+    g.units.erase(g.units.begin(), g.units.begin() + static_cast<std::ptrdiff_t>(lo));
+    g.units.push_back(std::move(merged));
+    g.sort_units();
+    best_brokers_ = winning.brokers_used;
+    ++stats_.clusterings_applied;
+    dirty_.insert(gid);
+    if (g.units.size() < 2) add_blacklist(gid, gid);
+  }
+
+  // Dispatch a cross-GIF pair by its bit-vector relation.
+  void try_pair(std::uint64_t a, std::uint64_t b, double pair_closeness) {
+    const Relation rel = SubscriptionProfile::relation(gif(a).profile, gif(b).profile);
+    switch (rel) {
+      case Relation::kEmpty:
+        // Only reachable under XOR (which clusters disjoint GIFs, the
+        // pathology Section IV-C.2 describes) — treat as a plain pairwise
+        // merge.
+      case Relation::kEqual:
+      case Relation::kIntersect: {
+        if (opts_.one_to_many && rel == Relation::kIntersect) {
+          if (try_one_to_many(a, b, pair_closeness) ||
+              try_one_to_many(b, a, pair_closeness)) {
+            return;
+          }
+        }
+        try_pairwise_merge(a, b);
+        return;
+      }
+      case Relation::kSuperset:
+        try_cover_cluster(a, b);
+        return;
+      case Relation::kSubset:
+        try_cover_cluster(b, a);
+        return;
+    }
+  }
+
+  // Merge the lightest unit of each GIF into a new cluster unit.
+  void try_pairwise_merge(std::uint64_t a, std::uint64_t b) {
+    Gif& ga = gif(a);
+    Gif& gb = gif(b);
+    SubUnit merged = cluster_units(ga.units.front(), gb.units.front(), table_);
+    const Gif saved_a = ga;
+    const Gif saved_b = gb;
+    ga.units.erase(ga.units.begin());
+    gb.units.erase(gb.units.begin());
+    // Tentative: park the merged unit in a temporary gif for the test.
+    const std::uint64_t tmp = next_id_++;
+    {
+      Gif t;
+      t.id = tmp;
+      t.profile = merged.profile;
+      t.units.push_back(merged);
+      gifs_.emplace(tmp, std::move(t));
+    }
+    const PackProbe probe = probe_allocation();
+    gifs_.erase(tmp);
+    if (!probe.success) {
+      ga = saved_a;
+      gb = saved_b;
+      ++stats_.clusterings_rejected;
+      add_blacklist(a, b);
+      return;
+    }
+    best_brokers_ = probe.brokers_used;
+    ++stats_.clusterings_applied;
+    if (ga.units.empty()) {
+      remove_gif(a);
+    } else {
+      dirty_.insert(a);
+    }
+    if (gb.units.empty()) {
+      remove_gif(b);
+    } else {
+      dirty_.insert(b);
+    }
+    commit_new_unit(std::move(merged));
+  }
+
+  // Covering relation: cluster the lightest unit of the covering GIF with
+  // as many (binary search) lightest units of the covered GIF as possible.
+  void try_cover_cluster(std::uint64_t cover_id, std::uint64_t covered_id) {
+    Gif& cover = gif(cover_id);
+    Gif& covered = gif(covered_id);
+    const std::size_t n = covered.units.size();
+    auto test_m = [&](std::size_t m) -> PackProbe {
+      const Gif saved_cover = cover;
+      const Gif saved_covered = covered;
+      SubUnit merged = cover.units.front();
+      for (std::size_t i = 0; i < m; ++i) merged = cluster_units(merged, covered.units[i], table_);
+      cover.units.erase(cover.units.begin());
+      covered.units.erase(covered.units.begin(), covered.units.begin() + static_cast<std::ptrdiff_t>(m));
+      cover.units.push_back(std::move(merged));  // profile unchanged: covered ⊆ cover
+      cover.sort_units();
+      const PackProbe probe = probe_allocation();
+      cover = saved_cover;
+      covered = saved_covered;
+      return probe;
+    };
+    if (!test_m(1).success) {
+      ++stats_.clusterings_rejected;
+      add_blacklist(cover_id, covered_id);
+      return;
+    }
+    std::size_t lo = 1;
+    std::size_t hi = n;
+    PackProbe winning = test_m(1);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      const PackProbe probe = test_m(mid);
+      if (probe.success) {
+        lo = mid;
+        winning = probe;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    SubUnit merged = cover.units.front();
+    for (std::size_t i = 0; i < lo; ++i) merged = cluster_units(merged, covered.units[i], table_);
+    cover.units.erase(cover.units.begin());
+    covered.units.erase(covered.units.begin(), covered.units.begin() + static_cast<std::ptrdiff_t>(lo));
+    cover.units.push_back(std::move(merged));
+    cover.sort_units();
+    best_brokers_ = winning.brokers_used;
+    ++stats_.clusterings_applied;
+    dirty_.insert(cover_id);
+    if (covered.units.empty()) {
+      remove_gif(covered_id);
+    } else {
+      dirty_.insert(covered_id);
+    }
+  }
+
+  // Optimization 3 (Section IV-C.3): before clustering an intersect pair,
+  // try clustering `parent` with a Covered GIF Set chosen by greedy set
+  // cover. Valid only if the CGS closeness beats the pair's and the result
+  // allocates. Returns true if applied.
+  bool try_one_to_many(std::uint64_t parent_id, std::uint64_t other_id,
+                       double pair_closeness) {
+    Gif& parent = gif(parent_id);
+    // Covered GIFs: poset descendants, or a scan when the poset is off.
+    std::vector<std::uint64_t> covered;
+    if (opts_.poset_pruning) {
+      const auto nit = node_of_.find(parent_id);
+      if (nit == node_of_.end()) return false;
+      for (const auto d : poset_.descendants(nit->second)) {
+        const std::uint64_t pid = poset_.payload(d);
+        if (gifs_.contains(pid)) covered.push_back(pid);
+      }
+    } else {
+      for (const auto& [id, g] : gifs_) {
+        if (id == parent_id) continue;
+        if (SubscriptionProfile::covers(parent.profile, g.profile) &&
+            !SubscriptionProfile::same_bits(parent.profile, g.profile)) {
+          covered.push_back(id);
+        }
+      }
+    }
+    if (covered.empty()) return false;
+
+    // Load budget: the CGS-parent cluster must not exceed the load of the
+    // original candidate pair.
+    const Bandwidth budget =
+        parent.units.front().out_bw + gif(other_id).units.front().out_bw;
+    Bandwidth spent = parent.units.front().out_bw;
+
+    // Greedy set cover over the covered GIFs: repeatedly take the GIF whose
+    // bits add the most coverage not already in the CGS.
+    SubscriptionProfile cgs_profile;
+    std::vector<std::uint64_t> chosen;
+    std::unordered_set<std::uint64_t> remaining(covered.begin(), covered.end());
+    while (!remaining.empty()) {
+      std::uint64_t best_id = 0;
+      std::size_t best_gain = 0;
+      for (const std::uint64_t cid : remaining) {
+        const auto& cp = gif(cid).profile;
+        const std::size_t gain =
+            cp.cardinality() - SubscriptionProfile::intersect_count(cgs_profile, cp);
+        if (gain > best_gain || (gain == best_gain && best_gain > 0 && cid < best_id)) {
+          best_gain = gain;
+          best_id = cid;
+        }
+      }
+      if (best_gain == 0) break;
+      const Bandwidth add_bw = gif(best_id).units.front().out_bw;
+      if (spent + add_bw > budget) break;
+      spent += add_bw;
+      chosen.push_back(best_id);
+      cgs_profile.merge(gif(best_id).profile);
+      remaining.erase(best_id);
+    }
+    if (chosen.empty()) return false;
+    if (close(parent.profile, cgs_profile) <= pair_closeness) return false;
+
+    // Tentatively cluster parent.lightest with the lightest unit of every
+    // chosen GIF. The merged profile equals the parent's (all chosen are
+    // covered), so the unit stays in the parent GIF.
+    std::unordered_map<std::uint64_t, Gif> saved;
+    saved.emplace(parent_id, parent);
+    for (const std::uint64_t cid : chosen) saved.emplace(cid, gif(cid));
+
+    SubUnit merged = parent.units.front();
+    parent.units.erase(parent.units.begin());
+    for (const std::uint64_t cid : chosen) {
+      Gif& cg = gif(cid);
+      merged = cluster_units(merged, cg.units.front(), table_);
+      cg.units.erase(cg.units.begin());
+    }
+    parent.units.push_back(std::move(merged));
+    parent.sort_units();
+
+    const PackProbe probe = probe_allocation();
+    if (!probe.success) {
+      for (auto& [id, g] : saved) gif(id) = g;
+      return false;  // fall back to the pairwise merge (no blacklist)
+    }
+    best_brokers_ = probe.brokers_used;
+    ++stats_.clusterings_applied;
+    ++stats_.one_to_many_applied;
+    dirty_.insert(parent_id);
+    for (const std::uint64_t cid : chosen) {
+      if (gif(cid).units.empty()) {
+        remove_gif(cid);
+      } else {
+        dirty_.insert(cid);
+      }
+    }
+    return true;
+  }
+
+  std::vector<AllocBroker> pool_;
+  const PublisherTable& table_;
+  CramOptions opts_;
+  CramStats stats_;
+  std::unordered_map<std::uint64_t, Gif> gifs_;
+  std::uint64_t next_id_ = 0;
+  ProfilePoset poset_;
+  std::unordered_map<std::uint64_t, ProfilePoset::NodeId> node_of_;
+  std::unordered_set<std::uint64_t> blacklist_;
+  std::unordered_map<std::uint64_t, Candidate> best_;
+  std::unordered_set<std::uint64_t> dirty_;
+  std::size_t best_brokers_ = 0;
+};
+
+}  // namespace
+
+CramResult cram_allocate(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
+                         const PublisherTable& table, const CramOptions& options) {
+  CramOptions opts = options;
+  // Optimization 2 structures the search over the poset of GIFs, so it
+  // requires optimization 1 (without grouping, equal profiles would collide
+  // on one poset node and shadow each other).
+  if (!opts.gif_grouping) opts.poset_pruning = false;
+  CramRun run(std::move(pool), std::move(units), table, opts);
+  return run.run();
+}
+
+}  // namespace greenps

@@ -1,0 +1,56 @@
+// CRAM — Clustering with Resource Awareness and Minimization (Section IV-C).
+//
+// Repeatedly clusters the closest pair of subscription groups (by one of
+// the INTERSECT/XOR/IOS/IOU closeness metrics), re-running BIN PACKING as
+// the allocation test after every clustering, and returns the last
+// successful allocation. Three optimizations, each individually toggleable
+// for the ablation experiments:
+//
+//   1. GIF grouping      — units with identical bit vectors form one group
+//   2. poset pruning     — pair search walks a containment poset, pruning
+//                          empty-relation subtrees (impossible under XOR)
+//   3. one-to-many       — an intersect pair first tries clustering each
+//                          side with its covered GIFs (greedy set cover)
+#pragma once
+
+#include <limits>
+
+#include "alloc/allocation.hpp"
+#include "alloc/gif.hpp"
+#include "profile/closeness.hpp"
+
+namespace greenps {
+
+struct CramOptions {
+  ClosenessMetric metric = ClosenessMetric::kIos;
+  bool gif_grouping = true;   // optimization 1
+  bool poset_pruning = true;  // optimization 2
+  bool one_to_many = true;    // optimization 3
+  std::size_t max_iterations = std::numeric_limits<std::size_t>::max();
+};
+
+struct CramStats {
+  std::size_t initial_units = 0;
+  std::size_t gif_count = 0;                // after grouping
+  std::size_t closeness_computations = 0;
+  std::size_t allocation_runs = 0;          // BIN PACKING invocations
+  std::size_t clusterings_applied = 0;
+  std::size_t clusterings_rejected = 0;     // failed allocation test
+  std::size_t one_to_many_applied = 0;
+  std::size_t iterations = 0;
+  std::size_t final_units = 0;              // clusters in the result
+  double poset_build_seconds = 0;
+  double total_seconds = 0;
+};
+
+struct CramResult {
+  Allocation allocation;
+  CramStats stats;
+};
+
+[[nodiscard]] CramResult cram_allocate(std::vector<AllocBroker> pool,
+                                       std::vector<SubUnit> units,
+                                       const PublisherTable& table,
+                                       const CramOptions& options = {});
+
+}  // namespace greenps

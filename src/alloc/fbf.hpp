@@ -1,0 +1,15 @@
+// Fastest Broker First (Section IV-A): brokers sorted by descending output
+// bandwidth; subscriptions drawn in random order and placed on the most
+// resourceful broker with capacity. O(S).
+#pragma once
+
+#include "alloc/allocation.hpp"
+#include "common/rng.hpp"
+
+namespace greenps {
+
+[[nodiscard]] Allocation fbf_allocate(std::vector<AllocBroker> pool,
+                                      std::vector<SubUnit> units,
+                                      const PublisherTable& table, Rng& rng);
+
+}  // namespace greenps

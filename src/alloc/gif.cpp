@@ -1,0 +1,63 @@
+#include "alloc/gif.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace greenps {
+
+Bandwidth Gif::total_out_bw() const {
+  Bandwidth total = 0;
+  for (const auto& u : units) total += u.out_bw;
+  return total;
+}
+
+void Gif::sort_units() {
+  std::sort(units.begin(), units.end(), [](const SubUnit& a, const SubUnit& b) {
+    if (a.out_bw != b.out_bw) return a.out_bw < b.out_bw;
+    const auto ka = a.members.empty() ? 0 : a.members.front().value();
+    const auto kb = b.members.empty() ? 0 : b.members.front().value();
+    return ka < kb;
+  });
+}
+
+std::vector<Gif> group_identical_filters(std::vector<SubUnit> units) {
+  std::vector<Gif> gifs;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_hash;  // hash -> gif indices
+  for (auto& u : units) {
+    const std::size_t h = u.profile.bit_hash();
+    auto& bucket = by_hash[h];
+    bool placed = false;
+    for (const std::size_t gi : bucket) {
+      if (SubscriptionProfile::same_bits(gifs[gi].profile, u.profile)) {
+        gifs[gi].units.push_back(std::move(u));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Gif g;
+      g.id = gifs.size();
+      g.profile = u.profile;
+      g.units.push_back(std::move(u));
+      bucket.push_back(gifs.size());
+      gifs.push_back(std::move(g));
+    }
+  }
+  for (auto& g : gifs) g.sort_units();
+  return gifs;
+}
+
+std::vector<Gif> singleton_gifs(std::vector<SubUnit> units) {
+  std::vector<Gif> gifs;
+  gifs.reserve(units.size());
+  for (auto& u : units) {
+    Gif g;
+    g.id = gifs.size();
+    g.profile = u.profile;
+    g.units.push_back(std::move(u));
+    gifs.push_back(std::move(g));
+  }
+  return gifs;
+}
+
+}  // namespace greenps

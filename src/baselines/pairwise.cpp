@@ -1,0 +1,112 @@
+#include "baselines/pairwise.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greenps {
+
+std::vector<SubUnit> pairwise_cluster(std::vector<SubUnit> units, std::size_t k,
+                                      const PublisherTable& table, ClosenessMetric metric) {
+  if (k == 0) k = 1;
+  // Best-partner cache to avoid a full O(n^2) rescan per merge.
+  struct Cand {
+    std::size_t partner = 0;
+    double closeness = -1;
+  };
+  std::vector<bool> alive(units.size(), true);
+  std::vector<Cand> best(units.size());
+  auto recompute = [&](std::size_t i) {
+    best[i] = Cand{};
+    for (std::size_t j = 0; j < units.size(); ++j) {
+      if (j == i || !alive[j]) continue;
+      const double c = closeness(metric, units[i].profile, units[j].profile);
+      if (c > best[i].closeness) best[i] = Cand{j, c};
+    }
+  };
+  std::size_t live = units.size();
+  for (std::size_t i = 0; i < units.size(); ++i) recompute(i);
+
+  while (live > k) {
+    // Pick the globally closest live pair.
+    std::size_t gi = units.size();
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (!alive[i] || best[i].closeness < 0) continue;
+      if (gi == units.size() || best[i].closeness > best[gi].closeness) gi = i;
+    }
+    if (gi == units.size()) break;  // no partners left (all singletons dead)
+    const std::size_t gj = best[gi].partner;
+    assert(alive[gj]);
+    units[gi] = cluster_units(units[gi], units[gj], table);
+    alive[gj] = false;
+    --live;
+    // Refresh caches touching gi/gj.
+    recompute(gi);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (!alive[i] || i == gi) continue;
+      if (best[i].partner == gj || best[i].partner == gi) {
+        recompute(i);
+      } else {
+        const double c = closeness(metric, units[i].profile, units[gi].profile);
+        if (c > best[i].closeness) best[i] = Cand{gi, c};
+      }
+    }
+  }
+
+  std::vector<SubUnit> out;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (alive[i]) out.push_back(std::move(units[i]));
+  }
+  return out;
+}
+
+namespace {
+
+Allocation assign_clusters(const std::vector<AllocBroker>& pool,
+                           std::vector<SubUnit> clusters, const PublisherTable& table,
+                           const std::vector<std::size_t>& broker_for_cluster) {
+  Allocation result;
+  std::vector<BrokerLoad> loads;
+  loads.reserve(pool.size());
+  for (const AllocBroker& b : pool) loads.emplace_back(b);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    // Capacity-unaware by design: add() without fits().
+    loads[broker_for_cluster[i]].add(clusters[i], table);
+  }
+  for (BrokerLoad& l : loads) {
+    if (!l.empty()) result.brokers.push_back(std::move(l));
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace
+
+Allocation pairwise_k_allocate(const std::vector<AllocBroker>& pool,
+                               std::vector<SubUnit> units, std::size_t k,
+                               const PublisherTable& table, Rng& rng) {
+  auto clusters = pairwise_cluster(std::move(units), k, table);
+  std::vector<std::size_t> broker_for_cluster;
+  broker_for_cluster.reserve(clusters.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    broker_for_cluster.push_back(rng.index(pool.size()));
+  }
+  return assign_clusters(pool, std::move(clusters), table, broker_for_cluster);
+}
+
+Allocation pairwise_n_allocate(const std::vector<AllocBroker>& pool,
+                               std::vector<SubUnit> units, const PublisherTable& table,
+                               Rng& rng) {
+  auto clusters = pairwise_cluster(std::move(units), pool.size(), table);
+  // One cluster per broker; a random broker permutation keeps the mapping
+  // unbiased when there are fewer clusters than brokers.
+  std::vector<std::size_t> perm(pool.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::vector<std::size_t> broker_for_cluster;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    broker_for_cluster.push_back(perm[i % perm.size()]);
+  }
+  return assign_clusters(pool, std::move(clusters), table, broker_for_cluster);
+}
+
+}  // namespace greenps

@@ -1,0 +1,39 @@
+// The pairwise clustering baselines (Riabov et al. [24], as extended in
+// Section VI):
+//
+//   PAIRWISE-K — pairwise clustering (XOR closeness) into K clusters, where
+//                K is the cluster count CRAM-XOR computed; clusters are
+//                assigned to random brokers with no capacity awareness.
+//   PAIRWISE-N — K = number of brokers; one cluster per broker.
+//
+// Both derivatives use bit vectors instead of the subscription language and
+// build their overlay with the AUTOMATIC (random tree) approach.
+#pragma once
+
+#include "alloc/allocation.hpp"
+#include "common/rng.hpp"
+#include "profile/closeness.hpp"
+
+namespace greenps {
+
+// Classic pairwise agglomeration: repeatedly merge the closest pair of
+// clusters (requires the cluster count `k` a priori — the limitation the
+// paper contrasts CRAM against).
+[[nodiscard]] std::vector<SubUnit> pairwise_cluster(std::vector<SubUnit> units,
+                                                    std::size_t k,
+                                                    const PublisherTable& table,
+                                                    ClosenessMetric metric = ClosenessMetric::kXor);
+
+// PAIRWISE-K: cluster into k groups, then place each cluster on a uniformly
+// random broker (capacity-unaware; a broker may receive several clusters).
+[[nodiscard]] Allocation pairwise_k_allocate(const std::vector<AllocBroker>& pool,
+                                             std::vector<SubUnit> units, std::size_t k,
+                                             const PublisherTable& table, Rng& rng);
+
+// PAIRWISE-N: cluster into one group per broker and assign cluster i to
+// broker i.
+[[nodiscard]] Allocation pairwise_n_allocate(const std::vector<AllocBroker>& pool,
+                                             std::vector<SubUnit> units,
+                                             const PublisherTable& table, Rng& rng);
+
+}  // namespace greenps

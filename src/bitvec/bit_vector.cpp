@@ -1,0 +1,159 @@
+#include "bitvec/bit_vector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace greenps {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t bits) : bits_(bits), words_(words_for(bits), 0) {}
+
+void BitVector::set(std::size_t i) {
+  assert(i < bits_);
+  words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVector::reset(std::size_t i) {
+  assert(i < bits_);
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool BitVector::test(std::size_t i) const {
+  if (i >= bits_) return false;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+std::size_t BitVector::count() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+void BitVector::mask_tail() {
+  const std::size_t rem = bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+void BitVector::shift_down(std::size_t k) {
+  if (k == 0) return;
+  if (k >= bits_) {
+    std::fill(words_.begin(), words_.end(), 0);
+    return;
+  }
+  const std::size_t word_shift = k / kWordBits;
+  const std::size_t bit_shift = k % kWordBits;
+  const std::size_t n = words_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = i + word_shift;
+    std::uint64_t lo = src < n ? words_[src] : 0;
+    if (bit_shift != 0) {
+      const std::uint64_t hi = (src + 1) < n ? words_[src + 1] : 0;
+      lo = (lo >> bit_shift) | (hi << (kWordBits - bit_shift));
+    }
+    words_[i] = lo;
+  }
+  mask_tail();
+}
+
+std::uint64_t BitVector::word_at(std::size_t bit_offset) const {
+  const std::size_t w = bit_offset / kWordBits;
+  const std::size_t r = bit_offset % kWordBits;
+  const std::uint64_t lo = w < words_.size() ? words_[w] : 0;
+  if (r == 0) return lo;
+  const std::uint64_t hi = (w + 1) < words_.size() ? words_[w + 1] : 0;
+  return (lo >> r) | (hi << (kWordBits - r));
+}
+
+void BitVector::or_with(const BitVector& other, std::ptrdiff_t this_offset,
+                        std::ptrdiff_t other_offset, std::size_t len) {
+  // Normalize away negative offsets, then clip the copied range to both
+  // vectors so the word loop below needs no per-bit bounds checks.
+  if (this_offset < 0) {
+    const std::ptrdiff_t skip = -this_offset;
+    if (static_cast<std::size_t>(skip) >= len) return;
+    this_offset = 0;
+    other_offset += skip;
+    len -= static_cast<std::size_t>(skip);
+  }
+  if (other_offset < 0) {
+    const std::ptrdiff_t skip = -other_offset;
+    if (static_cast<std::size_t>(skip) >= len) return;
+    other_offset = 0;
+    this_offset += skip;
+    len -= static_cast<std::size_t>(skip);
+  }
+  const auto t0 = static_cast<std::size_t>(this_offset);
+  const auto o0 = static_cast<std::size_t>(other_offset);
+  if (t0 >= bits_ || o0 >= other.bits_) return;
+  len = std::min({len, bits_ - t0, other.bits_ - o0});
+  for (std::size_t i = 0; i < len; i += kWordBits) {
+    std::uint64_t w = other.word_at(o0 + i);
+    const std::size_t remaining = len - i;
+    if (remaining < kWordBits) w &= (std::uint64_t{1} << remaining) - 1;
+    if (w == 0) continue;
+    const std::size_t t = t0 + i;
+    const std::size_t tw = t / kWordBits;
+    const std::size_t tr = t % kWordBits;
+    words_[tw] |= w << tr;
+    if (tr != 0 && tw + 1 < words_.size()) words_[tw + 1] |= w >> (kWordBits - tr);
+  }
+  mask_tail();
+}
+
+std::size_t BitVector::and_count(const BitVector& a, std::size_t a_off,
+                                 const BitVector& b, std::size_t b_off,
+                                 std::size_t len) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < len; i += kWordBits) {
+    std::uint64_t wa = a.word_at(a_off + i);
+    std::uint64_t wb = b.word_at(b_off + i);
+    const std::size_t remaining = len - i;
+    if (remaining < kWordBits) {
+      const std::uint64_t mask = (std::uint64_t{1} << remaining) - 1;
+      wa &= mask;
+      wb &= mask;
+    }
+    total += static_cast<std::size_t>(std::popcount(wa & wb));
+  }
+  return total;
+}
+
+bool BitVector::contains(const BitVector& sup, std::size_t sup_off,
+                         const BitVector& sub, std::size_t sub_off,
+                         std::size_t len) {
+  for (std::size_t i = 0; i < len; i += kWordBits) {
+    std::uint64_t ws = sup.word_at(sup_off + i);
+    std::uint64_t wb = sub.word_at(sub_off + i);
+    const std::size_t remaining = len - i;
+    if (remaining < kWordBits) {
+      const std::uint64_t mask = (std::uint64_t{1} << remaining) - 1;
+      ws &= mask;
+      wb &= mask;
+    }
+    if ((wb & ~ws) != 0) return false;
+  }
+  return true;
+}
+
+std::size_t BitVector::count_range(std::size_t from, std::size_t len) const {
+  if (from >= bits_) return 0;
+  len = std::min(len, bits_ - from);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < len; i += kWordBits) {
+    std::uint64_t w = word_at(from + i);
+    const std::size_t remaining = len - i;
+    if (remaining < kWordBits) w &= (std::uint64_t{1} << remaining) - 1;
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+}  // namespace greenps

@@ -1,0 +1,65 @@
+// Fixed-size dynamic bit vector with the set operations the profiling
+// framework needs: popcount, offset-aligned AND/OR/XOR cardinalities, subset
+// tests, and in-place down-shifts (used when the profiling window slides).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace greenps {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t bits);
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  // Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  // Logical shift towards index 0 by `k` bits: bit i becomes bit i-k and the
+  // lowest k bits are discarded. Size is unchanged; vacated high bits are 0.
+  void shift_down(std::size_t k);
+
+  // Set every bit of `other` (aligned at bit offsets) into this vector.
+  // Bits of `other` that would land outside this vector are ignored.
+  // `this_offset`/`other_offset` align the two coordinate systems:
+  // other bit (other_offset + i) maps onto this bit (this_offset + i).
+  void or_with(const BitVector& other, std::ptrdiff_t this_offset,
+               std::ptrdiff_t other_offset, std::size_t len);
+
+  // 64 bits starting at `bit_offset`, zero-padded past the end.
+  [[nodiscard]] std::uint64_t word_at(std::size_t bit_offset) const;
+
+  // |a ∩ b| over `len` bits where a starts at a_off and b at b_off.
+  [[nodiscard]] static std::size_t and_count(const BitVector& a, std::size_t a_off,
+                                             const BitVector& b, std::size_t b_off,
+                                             std::size_t len);
+
+  // True iff every set bit of `sub` (over `len` bits from sub_off) is also
+  // set in `sup` (from sup_off).
+  [[nodiscard]] static bool contains(const BitVector& sup, std::size_t sup_off,
+                                     const BitVector& sub, std::size_t sub_off,
+                                     std::size_t len);
+
+  // Number of set bits in [from, from+len) (clamped to size).
+  [[nodiscard]] std::size_t count_range(std::size_t from, std::size_t len) const;
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  void mask_tail();
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,36 @@
+#include "broker/bandwidth_limiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greenps {
+
+SimTime BandwidthLimiter::transmit(SimTime now, MsgSize size_kb) {
+  assert(rate_kb_s_ > 0);
+  const SimTime start = std::max(now, ready_);
+  const auto duration = static_cast<SimTime>(
+      std::ceil(size_kb / rate_kb_s_ * static_cast<double>(kMicrosPerSecond)));
+  ready_ = start + std::max<SimTime>(duration, 1);
+  busy_ += ready_ - start;
+  return ready_;
+}
+
+void BandwidthLimiter::reset() {
+  ready_ = 0;
+  busy_ = 0;
+}
+
+SimTime FifoServer::serve(SimTime now, SimTime service) {
+  const SimTime start = std::max(now, ready_);
+  ready_ = start + std::max<SimTime>(service, 1);
+  busy_ += ready_ - start;
+  return ready_;
+}
+
+void FifoServer::reset() {
+  ready_ = 0;
+  busy_ = 0;
+}
+
+}  // namespace greenps

@@ -1,0 +1,51 @@
+// FIFO serialization of a finite-rate resource.
+//
+// Models both a broker's throttled output link ("we achieve bandwidth
+// throttling through the use of a bandwidth limiter in each broker",
+// Section VI-A) and, with a fixed service time, its matching CPU.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace greenps {
+
+class BandwidthLimiter {
+ public:
+  explicit BandwidthLimiter(Bandwidth rate_kb_s) : rate_kb_s_(rate_kb_s) {}
+
+  // Enqueue a message of `size_kb` arriving at `now`; returns the time its
+  // transmission completes. Calls must have non-decreasing `now`.
+  SimTime transmit(SimTime now, MsgSize size_kb);
+
+  [[nodiscard]] Bandwidth rate() const { return rate_kb_s_; }
+  [[nodiscard]] SimTime busy_until() const { return ready_; }
+  // Total busy time accumulated (for utilization metrics).
+  [[nodiscard]] SimTime busy_time() const { return busy_; }
+
+  void reset();
+
+ private:
+  Bandwidth rate_kb_s_;
+  SimTime ready_ = 0;
+  SimTime busy_ = 0;
+};
+
+// FIFO server with per-message service time chosen by the caller (used for
+// the matching stage, whose delay depends on the live filter count).
+class FifoServer {
+ public:
+  // Returns completion time of a job arriving at `now` with the given
+  // service duration.
+  SimTime serve(SimTime now, SimTime service);
+
+  [[nodiscard]] SimTime busy_until() const { return ready_; }
+  [[nodiscard]] SimTime busy_time() const { return busy_; }
+
+  void reset();
+
+ private:
+  SimTime ready_ = 0;
+  SimTime busy_ = 0;
+};
+
+}  // namespace greenps

@@ -1,0 +1,4 @@
+#include "broker/broker.hpp"
+
+// Broker is header-only today; translation unit kept for future out-of-line
+// growth and to anchor the library target.

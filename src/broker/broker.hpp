@@ -1,0 +1,72 @@
+// A PADRES-style content-based publish/subscribe broker.
+//
+// Holds the routing tables, capacity description (output bandwidth +
+// matching delay function), the CBC profiling component, and the two
+// queueing stages the simulator drives: a matching CPU (FifoServer) and a
+// throttled output link (BandwidthLimiter).
+#pragma once
+
+#include <vector>
+
+#include "broker/bandwidth_limiter.hpp"
+#include "broker/cbc.hpp"
+#include "broker/routing_tables.hpp"
+#include "common/ids.hpp"
+#include "matching/delay_model.hpp"
+
+namespace greenps {
+
+struct BrokerCapacity {
+  Bandwidth out_bw_kb_s = 1.0e6;
+  MatchingDelayFunction delay;
+};
+
+class Broker {
+ public:
+  Broker(BrokerId id, BrokerCapacity capacity,
+         std::size_t profile_window_bits = WindowedBitVector::kDefaultCapacity)
+      : id_(id),
+        capacity_(capacity),
+        cbc_(profile_window_bits),
+        out_link_(capacity.out_bw_kb_s) {}
+
+  [[nodiscard]] BrokerId id() const { return id_; }
+  [[nodiscard]] const BrokerCapacity& capacity() const { return capacity_; }
+
+  [[nodiscard]] SubscriptionRoutingTable& srt() { return srt_; }
+  [[nodiscard]] const SubscriptionRoutingTable& srt() const { return srt_; }
+  [[nodiscard]] AdvertisementRoutingTable& prt() { return prt_; }
+  [[nodiscard]] const AdvertisementRoutingTable& prt() const { return prt_; }
+  [[nodiscard]] CbcComponent& cbc() { return cbc_; }
+  [[nodiscard]] const CbcComponent& cbc() const { return cbc_; }
+
+  // Matching service time for one publication at the current table size.
+  [[nodiscard]] SimTime matching_service_time() const {
+    return seconds(capacity_.delay.delay_s(srt_.filter_count()));
+  }
+
+  [[nodiscard]] FifoServer& matcher() { return matcher_; }
+  [[nodiscard]] BandwidthLimiter& out_link() { return out_link_; }
+
+  // Route one publication, excluding the neighbor it came from (if any).
+  [[nodiscard]] SubscriptionRoutingTable::MatchResult route(const Publication& pub,
+                                                            const BrokerId* from) const {
+    return srt_.match(pub, from);
+  }
+
+  void reset_queues() {
+    matcher_.reset();
+    out_link_.reset();
+  }
+
+ private:
+  BrokerId id_;
+  BrokerCapacity capacity_;
+  SubscriptionRoutingTable srt_;
+  AdvertisementRoutingTable prt_;
+  CbcComponent cbc_;
+  FifoServer matcher_;
+  BandwidthLimiter out_link_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,112 @@
+#include "broker/cbc.hpp"
+
+namespace greenps {
+
+void CbcComponent::register_subscription(SubId id, ClientId client, Filter filter) {
+  SubState s{client, std::move(filter), SubscriptionProfile(window_bits_)};
+  subs_.insert_or_assign(id, std::move(s));
+}
+
+void CbcComponent::unregister_subscription(SubId id) { subs_.erase(id); }
+
+void CbcComponent::record_delivery(SubId id, AdvId adv, MessageSeq seq) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  it->second.profile.record(adv, seq);
+}
+
+void CbcComponent::register_publisher(ClientId client, AdvId adv) {
+  PubState p;
+  p.client = client;
+  pubs_.insert_or_assign(adv, p);
+}
+
+void CbcComponent::unregister_publisher(AdvId adv) { pubs_.erase(adv); }
+
+void CbcComponent::record_publish(AdvId adv, MessageSeq seq, MsgSize size_kb, SimTime now) {
+  const auto it = pubs_.find(adv);
+  if (it == pubs_.end()) return;
+  PubState& p = it->second;
+  p.last_seq = seq;
+  p.messages += 1;
+  p.bytes_kb += size_kb;
+  if (p.first_publish < 0) p.first_publish = now;
+  p.last_publish = now;
+}
+
+void CbcComponent::record_matching(std::size_t filters, SimTime service) {
+  // Keep two sample buckets: the smallest and largest filter counts seen.
+  // The widest spread gives the most stable line fit; samples at counts
+  // strictly between the buckets add little and are dropped.
+  auto& s = match_samples_;
+  auto add = [&](MatchSamples::Bucket& b) {
+    b.filters = filters;
+    b.total_s += to_seconds(service);
+    b.n += 1;
+  };
+  if (s.lo.n == 0) {
+    add(s.lo);
+  } else if (filters == s.lo.filters) {
+    add(s.lo);
+  } else if (s.hi.n == 0) {
+    if (filters > s.lo.filters) {
+      add(s.hi);
+    } else {
+      s.hi = s.lo;
+      s.lo = {};
+      add(s.lo);
+    }
+  } else if (filters == s.hi.filters) {
+    add(s.hi);
+  } else if (filters < s.lo.filters) {
+    s.lo = {};
+    add(s.lo);
+  } else if (filters > s.hi.filters) {
+    s.hi = {};
+    add(s.hi);
+  }
+}
+
+std::optional<MatchingDelayFunction> CbcComponent::fitted_delay() const {
+  const auto& s = match_samples_;
+  if (s.lo.n == 0 || s.hi.n == 0 || s.lo.filters == s.hi.filters) return std::nullopt;
+  return fit_delay_function(s.lo.filters, s.lo.total_s / static_cast<double>(s.lo.n),
+                            s.hi.filters, s.hi.total_s / static_cast<double>(s.hi.n));
+}
+
+BrokerInfo CbcComponent::snapshot(BrokerId broker, const MatchingDelayFunction& fallback_delay,
+                                  Bandwidth out_bw) const {
+  BrokerInfo info;
+  info.id = broker;
+  info.delay = fitted_delay().value_or(fallback_delay);
+  info.total_out_bw = out_bw;
+  info.subscriptions.reserve(subs_.size());
+  for (const auto& [id, s] : subs_) {
+    info.subscriptions.push_back(LocalSubscriptionInfo{id, s.client, s.filter, s.profile});
+  }
+  info.publishers.reserve(pubs_.size());
+  for (const auto& [adv, p] : pubs_) {
+    PublisherProfile prof;
+    prof.adv = adv;
+    prof.last_seq = p.last_seq;
+    // Average over the span between first and last publish. With a single
+    // sample the span is zero; treat the rate as unknown-but-positive by
+    // spreading one message over one second.
+    const double span_s =
+        p.messages > 1 && p.last_publish > p.first_publish
+            ? to_seconds(p.last_publish - p.first_publish) *
+                  (static_cast<double>(p.messages) / static_cast<double>(p.messages - 1))
+            : 1.0;
+    prof.rate_msg_s = static_cast<double>(p.messages) / span_s;
+    prof.bw_kb_s = p.bytes_kb / span_s;
+    info.publishers.push_back(LocalPublisherInfo{p.client, prof});
+  }
+  return info;
+}
+
+void CbcComponent::clear() {
+  subs_.clear();
+  pubs_.clear();
+}
+
+}  // namespace greenps

@@ -1,0 +1,116 @@
+// CROC Back-end Component (CBC, Section III).
+//
+// Lives inside each broker. It profiles local subscribers (maintaining one
+// windowed bit vector per (subscription, publisher) pair) and local
+// publishers (rate, bandwidth, last message ID), and answers CROC's Broker
+// Information Request with a BrokerInfo snapshot.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "language/subscription.hpp"
+#include "matching/delay_model.hpp"
+#include "profile/publisher_profile.hpp"
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+// One locally attached subscription as reported in a BIA message.
+struct LocalSubscriptionInfo {
+  SubId id;
+  ClientId client;
+  Filter filter;
+  SubscriptionProfile profile;
+};
+
+// One locally attached publisher as reported in a BIA message.
+struct LocalPublisherInfo {
+  ClientId client;
+  PublisherProfile profile;
+};
+
+// The per-broker payload of a Broker Information Answer (Section III-A).
+struct BrokerInfo {
+  BrokerId id;                        // stands in for the broker URL
+  MatchingDelayFunction delay;        // matching delay function
+  Bandwidth total_out_bw = 0;         // total output bandwidth
+  std::vector<LocalSubscriptionInfo> subscriptions;
+  std::vector<LocalPublisherInfo> publishers;
+};
+
+class CbcComponent {
+ public:
+  explicit CbcComponent(std::size_t profile_window_bits = WindowedBitVector::kDefaultCapacity)
+      : window_bits_(profile_window_bits) {}
+
+  // --- subscriber profiling ---
+  void register_subscription(SubId id, ClientId client, Filter filter);
+  void unregister_subscription(SubId id);
+  // Called on every local delivery; fills the bit vectors.
+  void record_delivery(SubId id, AdvId adv, MessageSeq seq);
+
+  // --- publisher profiling ---
+  void register_publisher(ClientId client, AdvId adv);
+  void unregister_publisher(AdvId adv);
+  // Called on every local publish.
+  void record_publish(AdvId adv, MessageSeq seq, MsgSize size_kb, SimTime now);
+
+  // --- matching-delay profiling ---
+  // Called whenever the broker matches a publication against `filters`
+  // filters, taking `service` time. The BIA's "matching delay function"
+  // (a linear model) is fitted from these samples.
+  void record_matching(std::size_t filters, SimTime service);
+  // Fitted model, or nullopt until samples at two distinct filter counts
+  // exist (a line needs two points).
+  [[nodiscard]] std::optional<MatchingDelayFunction> fitted_delay() const;
+
+  // Snapshot for a BIA message. `fallback_delay`/`out_bw` describe the
+  // hosting broker; the measured delay model is preferred when available.
+  [[nodiscard]] BrokerInfo snapshot(BrokerId broker,
+                                    const MatchingDelayFunction& fallback_delay,
+                                    Bandwidth out_bw) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
+  [[nodiscard]] std::size_t publisher_count() const { return pubs_.size(); }
+
+ private:
+  struct SubState {
+    ClientId client;
+    Filter filter;
+    SubscriptionProfile profile;
+  };
+  struct PubState {
+    ClientId client;
+    MessageSeq last_seq = -1;
+    std::size_t messages = 0;
+    double bytes_kb = 0;
+    SimTime first_publish = -1;
+    SimTime last_publish = -1;
+  };
+
+  struct MatchSamples {
+    // Mean service time per observed filter-count bucket; two buckets are
+    // enough to fit the line exactly for a linear matcher and average out
+    // noise for a real one.
+    struct Bucket {
+      std::size_t filters = 0;
+      double total_s = 0;
+      std::size_t n = 0;
+    };
+    Bucket lo;
+    Bucket hi;
+  };
+
+  std::size_t window_bits_;
+  std::unordered_map<SubId, SubState> subs_;
+  std::unordered_map<AdvId, PubState> pubs_;
+  MatchSamples match_samples_;
+};
+
+}  // namespace greenps

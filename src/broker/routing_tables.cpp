@@ -1,0 +1,67 @@
+#include "broker/routing_tables.hpp"
+
+#include <algorithm>
+
+#include "matching/relations.hpp"
+
+namespace greenps {
+
+void SubscriptionRoutingTable::insert(SubId sub, const Filter& filter, Hop next_hop) {
+  if (hops_.contains(sub)) engine_.remove(sub.value());
+  engine_.insert(sub.value(), filter);
+  hops_.insert_or_assign(sub, next_hop);
+}
+
+void SubscriptionRoutingTable::remove(SubId sub) {
+  if (!hops_.contains(sub)) return;
+  engine_.remove(sub.value());
+  hops_.erase(sub);
+}
+
+SubscriptionRoutingTable::MatchResult SubscriptionRoutingTable::match(
+    const Publication& pub, const BrokerId* exclude) const {
+  MatchResult result;
+  for (const auto handle : engine_.match(pub)) {
+    const SubId sub{handle};
+    const auto it = hops_.find(sub);
+    if (it == hops_.end()) continue;
+    const Hop& hop = it->second;
+    if (hop.kind == Hop::Kind::kClient) {
+      result.deliver.emplace_back(sub, hop.client);
+    } else {
+      if (exclude != nullptr && hop.broker == *exclude) continue;
+      if (std::find(result.forward_to.begin(), result.forward_to.end(), hop.broker) ==
+          result.forward_to.end()) {
+        result.forward_to.push_back(hop.broker);
+      }
+    }
+  }
+  // Deterministic ordering for reproducible simulations.
+  std::sort(result.forward_to.begin(), result.forward_to.end());
+  std::sort(result.deliver.begin(), result.deliver.end());
+  return result;
+}
+
+void AdvertisementRoutingTable::insert(Advertisement adv, Hop last_hop) {
+  remove(adv.id());
+  entries_.push_back(Entry{std::move(adv), last_hop});
+}
+
+void AdvertisementRoutingTable::remove(AdvId id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.adv.id() == id; }),
+                 entries_.end());
+}
+
+std::vector<Hop> AdvertisementRoutingTable::directions_for(const Filter& f) const {
+  std::vector<Hop> out;
+  for (const Entry& e : entries_) {
+    if (!intersects(e.adv.filter(), f)) continue;
+    if (std::find(out.begin(), out.end(), e.last_hop) == out.end()) {
+      out.push_back(e.last_hop);
+    }
+  }
+  return out;
+}
+
+}  // namespace greenps

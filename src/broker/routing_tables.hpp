@@ -1,0 +1,87 @@
+// Routing state of a filter-based publish/subscribe broker: the
+// subscription routing table (SRT) steering publications toward subscribers
+// and the publication/advertisement routing table (PRT) steering
+// subscriptions toward matching advertisements.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "language/advertisement.hpp"
+#include "matching/matching_engine.hpp"
+
+namespace greenps {
+
+// Next hop of a routed message: either a neighbor broker or a locally
+// attached client.
+struct Hop {
+  enum class Kind : std::uint8_t { kBroker, kClient };
+
+  Kind kind = Kind::kBroker;
+  BrokerId broker;
+  ClientId client;
+
+  [[nodiscard]] static Hop to_broker(BrokerId b) {
+    Hop h;
+    h.kind = Kind::kBroker;
+    h.broker = b;
+    return h;
+  }
+  [[nodiscard]] static Hop to_client(ClientId c) {
+    Hop h;
+    h.kind = Kind::kClient;
+    h.client = c;
+    return h;
+  }
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+class SubscriptionRoutingTable {
+ public:
+  struct MatchResult {
+    // Unique neighbor brokers that need one copy of the publication.
+    std::vector<BrokerId> forward_to;
+    // Local subscriber deliveries: one copy per matching subscription.
+    std::vector<std::pair<SubId, ClientId>> deliver;
+  };
+
+  // Install or replace the routing entry for `sub`.
+  void insert(SubId sub, const Filter& filter, Hop next_hop);
+  void remove(SubId sub);
+
+  // Match a publication, optionally excluding the broker link it arrived on
+  // (never forward a publication back where it came from).
+  [[nodiscard]] MatchResult match(const Publication& pub,
+                                  const BrokerId* exclude = nullptr) const;
+
+  [[nodiscard]] std::size_t filter_count() const { return hops_.size(); }
+  [[nodiscard]] bool contains(SubId sub) const { return hops_.contains(sub); }
+
+ private:
+  MatchingEngine engine_;
+  std::unordered_map<SubId, Hop> hops_;
+};
+
+class AdvertisementRoutingTable {
+ public:
+  struct Entry {
+    Advertisement adv;
+    Hop last_hop;  // direction toward the publisher
+  };
+
+  void insert(Advertisement adv, Hop last_hop);
+  void remove(AdvId id);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  // Directions (deduplicated) toward every advertisement intersecting `f`.
+  [[nodiscard]] std::vector<Hop> directions_for(const Filter& f) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace greenps

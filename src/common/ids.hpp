@@ -1,0 +1,69 @@
+// Strong identifier types used across the system.
+//
+// Each entity family (brokers, publishers/advertisements, subscriptions,
+// messages) gets its own integer-backed ID type so that mixing them up is a
+// compile-time error rather than a silent bug.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace greenps {
+
+// CRTP-free tagged integer. `Tag` only disambiguates the type.
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::uint64_t;
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(TypedId, TypedId) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct BrokerTag {};
+struct AdvTag {};
+struct SubTag {};
+struct ClientTag {};
+
+// A broker process in the overlay.
+using BrokerId = TypedId<BrokerTag>;
+// A publisher is identified by its globally unique advertisement ID
+// (Section III-B: "its globally unique advertisement ID ... serves to
+// identify the publisher of every publication").
+using AdvId = TypedId<AdvTag>;
+// A subscription issued by a subscriber client.
+using SubId = TypedId<SubTag>;
+// A client process (publisher or subscriber endpoint).
+using ClientId = TypedId<ClientTag>;
+
+// Per-publisher publication sequence number ("message ID" in the paper):
+// a plain integer counter appended to every publication.
+using MessageSeq = std::int64_t;
+
+template <typename Tag>
+std::string to_string(TypedId<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : std::string("<invalid>");
+}
+
+}  // namespace greenps
+
+namespace std {
+template <typename Tag>
+struct hash<greenps::TypedId<Tag>> {
+  size_t operator()(greenps::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

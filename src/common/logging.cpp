@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace greenps::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  std::cerr << "[greenps " << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace greenps::log

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The library is a simulation/analysis toolkit, so logging is synchronous
+// stderr output guarded by a global level; benches set Level::kWarn to keep
+// output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace greenps::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void info(const Args&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void error(const Args&... args) {
+  if (level() <= Level::kError) write(Level::kError, detail::concat(args...));
+}
+
+}  // namespace greenps::log

@@ -1,0 +1,33 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+
+namespace greenps {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::chance(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+}  // namespace greenps

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (workload generation, AUTOMATIC topology,
+// FBF's random subscription draws, ...) takes an explicit Rng so whole
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace greenps {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  // Standard normal draw.
+  [[nodiscard]] double gaussian(double mean, double stddev);
+
+  // Bernoulli draw with probability p of true.
+  [[nodiscard]] bool chance(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick a uniformly random index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  // Derive an independent child generator (for per-entity streams).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace greenps

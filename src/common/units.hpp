@@ -1,0 +1,33 @@
+// Physical units used by the load model and the simulator.
+//
+// Rates and bandwidths are kept as doubles with explicit unit suffixes in
+// the names; simulated time is an integer microsecond count so event
+// ordering is exact.
+#pragma once
+
+#include <cstdint>
+
+namespace greenps {
+
+// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+[[nodiscard]] constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kMicrosPerSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+// Messages per second.
+using MsgRate = double;
+// Kilobytes per second (the paper expresses broker capacity as total output
+// bandwidth and subscription needs in kB/s).
+using Bandwidth = double;
+// Message payload size in kilobytes.
+using MsgSize = double;
+
+}  // namespace greenps

@@ -1,0 +1,233 @@
+#include "croc/croc.hpp"
+
+#include <chrono>
+
+#include "alloc/bin_packing.hpp"
+#include "alloc/fbf.hpp"
+#include "baselines/pairwise.hpp"
+#include "common/logging.hpp"
+#include "overlay/topology_builder.hpp"
+
+namespace greenps {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+const char* algorithm_name(Phase2Algorithm a) {
+  switch (a) {
+    case Phase2Algorithm::kFbf: return "FBF";
+    case Phase2Algorithm::kBinPacking: return "BIN PACKING";
+    case Phase2Algorithm::kCram: return "CRAM";
+    case Phase2Algorithm::kPairwiseK: return "PAIRWISE-K";
+    case Phase2Algorithm::kPairwiseN: return "PAIRWISE-N";
+  }
+  return "?";
+}
+
+std::vector<SubUnit> Croc::units_from(const GatheredInfo& info) {
+  std::vector<SubUnit> units;
+  units.reserve(info.subscriptions.size());
+  for (const SubscriptionRecord& rec : info.subscriptions) {
+    units.push_back(
+        make_subscription_unit(rec.info.id, rec.info.profile, info.publisher_table));
+  }
+  return units;
+}
+
+std::vector<AllocBroker> Croc::pool_from(const GatheredInfo& info) {
+  std::vector<AllocBroker> pool;
+  pool.reserve(info.brokers.size());
+  for (const BrokerInfo& b : info.brokers) {
+    pool.push_back(AllocBroker{b.id, b.total_out_bw, b.delay});
+  }
+  return pool;
+}
+
+ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
+  const auto t0 = Clock::now();
+  const GatheredInfo info = gather_information(
+      sim.deployment().topology, entry, [&sim](BrokerId b) { return sim.broker_info(b); });
+  ReconfigurationReport report = plan_from_info(info);
+  report.phase1_seconds = seconds_since(t0) - report.phase2_seconds -
+                          report.phase3_seconds - report.grape_seconds;
+  report.gather = info.stats;
+  if (report.success) report.migration = migration_cost(sim.deployment(), report.plan);
+  return report;
+}
+
+MigrationCost migration_cost(const Deployment& current, const ReconfigurationPlan& plan) {
+  MigrationCost cost;
+  for (const auto& s : current.subscribers) {
+    cost.subscribers_total += 1;
+    const auto it = plan.subscriber_home.find(s.sub);
+    const BrokerId target = it != plan.subscriber_home.end() ? it->second : plan.root;
+    if (target != s.home) cost.subscribers_moved += 1;
+  }
+  for (const auto& p : current.publishers) {
+    cost.publishers_total += 1;
+    const auto it = plan.publisher_home.find(p.client);
+    const BrokerId target = it != plan.publisher_home.end() ? it->second : plan.root;
+    if (target != p.home) cost.publishers_moved += 1;
+  }
+  for (const BrokerId b : current.topology.brokers()) {
+    if (!plan.overlay.has_broker(b)) cost.brokers_decommissioned += 1;
+  }
+  for (const BrokerId b : plan.overlay.brokers()) {
+    if (!current.topology.has_broker(b)) cost.brokers_commissioned += 1;
+  }
+  return cost;
+}
+
+ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
+  ReconfigurationReport report;
+  Rng rng(config_.seed);
+  const PublisherTable& table = info.publisher_table;
+  std::vector<AllocBroker> pool = pool_from(info);
+  for (AllocBroker& b : pool) b.out_bw *= config_.capacity_headroom;
+  std::vector<SubUnit> units = units_from(info);
+
+  // ---- Phase 2 ----
+  const auto t2 = Clock::now();
+  Allocation phase2;
+  const bool pairwise = config_.algorithm == Phase2Algorithm::kPairwiseK ||
+                        config_.algorithm == Phase2Algorithm::kPairwiseN;
+  switch (config_.algorithm) {
+    case Phase2Algorithm::kFbf:
+      phase2 = fbf_allocate(pool, units, table, rng);
+      break;
+    case Phase2Algorithm::kBinPacking:
+      phase2 = bin_packing_allocate(pool, units, table);
+      break;
+    case Phase2Algorithm::kCram: {
+      CramResult r = cram_allocate(pool, units, table, config_.cram);
+      report.cram = r.stats;
+      phase2 = std::move(r.allocation);
+      break;
+    }
+    case Phase2Algorithm::kPairwiseK: {
+      std::size_t k = config_.pairwise_k;
+      if (k == 0) {
+        CramOptions xor_opts = config_.cram;
+        xor_opts.metric = ClosenessMetric::kXor;
+        CramResult r = cram_allocate(pool, units, table, xor_opts);
+        report.cram = r.stats;
+        k = r.allocation.success ? r.allocation.unit_count() : pool.size();
+      }
+      phase2 = pairwise_k_allocate(pool, units, k, table, rng);
+      break;
+    }
+    case Phase2Algorithm::kPairwiseN:
+      phase2 = pairwise_n_allocate(pool, units, table, rng);
+      break;
+  }
+  report.phase2_seconds = seconds_since(t2);
+  if (!phase2.success) {
+    log::warn("phase 2 (", algorithm_name(config_.algorithm),
+              ") failed: insufficient broker resources");
+    return report;
+  }
+  report.cluster_count = phase2.unit_count();
+
+  // ---- Phase 3 ----
+  const auto t3 = Clock::now();
+  ReconfigurationPlan plan;
+  std::unordered_map<BrokerId, SubscriptionProfile> local_profiles;
+  if (phase2.brokers.empty()) {
+    // No subscriptions to serve: keep one broker (the most resourceful) so
+    // publishers still have a home.
+    sort_by_capacity_desc(pool);
+    plan.overlay.add_broker(pool.front().id);
+    plan.root = pool.front().id;
+    plan.allocated_brokers = {plan.root};
+    for (const PublisherRecord& p : info.publishers) {
+      plan.publisher_home[p.client] = plan.root;
+    }
+    report.allocated_brokers = 1;
+    report.plan = std::move(plan);
+    report.success = true;
+    return report;
+  }
+  if (pairwise) {
+    // The pairwise derivatives build their overlay with the AUTOMATIC
+    // approach: a random tree over the brokers that received clusters.
+    std::vector<BrokerId> used;
+    for (const BrokerLoad& b : phase2.brokers) used.push_back(b.broker().id);
+    rng.shuffle(used);
+    plan.overlay = build_random_tree(used, rng);
+    plan.root = used.front();
+    for (const BrokerLoad& b : phase2.brokers) {
+      SubscriptionProfile agg;
+      for (const SubUnit& u : b.units()) {
+        for (const SubId s : u.members) plan.subscriber_home[s] = b.broker().id;
+        agg.merge(u.profile);
+      }
+      local_profiles.emplace(b.broker().id, std::move(agg));
+    }
+  } else {
+    AllocatorFn allocator;
+    switch (config_.algorithm) {
+      case Phase2Algorithm::kFbf:
+        allocator = [&rng](const std::vector<AllocBroker>& p, const std::vector<SubUnit>& u,
+                           const PublisherTable& t) { return fbf_allocate(p, u, t, rng); };
+        break;
+      case Phase2Algorithm::kBinPacking:
+        allocator = [](const std::vector<AllocBroker>& p, const std::vector<SubUnit>& u,
+                       const PublisherTable& t) { return bin_packing_allocate(p, u, t); };
+        break;
+      default:
+        allocator = [this](const std::vector<AllocBroker>& p, const std::vector<SubUnit>& u,
+                           const PublisherTable& t) {
+          return cram_allocate(p, u, t, config_.cram).allocation;
+        };
+        break;
+    }
+    BuiltOverlay built = build_overlay(phase2, pool, table, allocator, config_.overlay);
+    report.overlay = built.stats;
+    plan.overlay = std::move(built.tree);
+    plan.root = built.root;
+    for (const auto& [broker, hosted] : built.hosted_units) {
+      SubscriptionProfile agg;
+      for (const SubUnit& u : hosted) {
+        for (const SubId s : u.members) plan.subscriber_home[s] = broker;
+        agg.merge(u.profile);
+      }
+      if (!hosted.empty()) local_profiles.emplace(broker, std::move(agg));
+    }
+  }
+  plan.allocated_brokers = plan.overlay.brokers();
+  plan.cluster_count = report.cluster_count;
+  report.phase3_seconds = seconds_since(t3);
+
+  // ---- GRAPE ----
+  const auto tg = Clock::now();
+  if (pairwise || !config_.run_grape) {
+    // AUTOMATIC-style random publisher placement for the pairwise
+    // baselines; root placement when GRAPE is disabled.
+    for (const PublisherRecord& p : info.publishers) {
+      plan.publisher_home[p.client] =
+          pairwise ? plan.allocated_brokers[rng.index(plan.allocated_brokers.size())]
+                   : plan.root;
+    }
+  } else {
+    std::vector<GrapePublisher> pubs;
+    pubs.reserve(info.publishers.size());
+    for (const PublisherRecord& p : info.publishers) {
+      pubs.push_back(GrapePublisher{p.client, p.profile.adv});
+    }
+    const GrapePlacement placed = grape_place_publishers(plan.overlay, pubs, local_profiles,
+                                                         table, config_.grape_mode);
+    plan.publisher_home = placed.broker_for;
+  }
+  report.grape_seconds = seconds_since(tg);
+
+  report.allocated_brokers = plan.allocated_brokers.size();
+  report.plan = std::move(plan);
+  report.success = true;
+  return report;
+}
+
+}  // namespace greenps

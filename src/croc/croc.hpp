@@ -1,0 +1,95 @@
+// CROC — Coordinator for Reconfiguring the Overlay and Clients.
+//
+// The external publish/subscribe client of Section III: connects to one
+// broker, runs Phase 1 (BIR/BIA gathering), Phase 2 (subscription
+// allocation), Phase 3 (recursive overlay construction) and GRAPE, and
+// emits a ReconfigurationPlan the deployment can apply.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/cram.hpp"
+#include "croc/info_gathering.hpp"
+#include "croc/reconfig_plan.hpp"
+#include "grape/grape.hpp"
+#include "overlay_build/recursive_builder.hpp"
+
+namespace greenps {
+
+enum class Phase2Algorithm {
+  kFbf,
+  kBinPacking,
+  kCram,
+  kPairwiseK,  // related work: pairwise clustering, K from CRAM-XOR
+  kPairwiseN,  // related work: pairwise clustering, one cluster per broker
+};
+
+[[nodiscard]] const char* algorithm_name(Phase2Algorithm a);
+
+struct CrocConfig {
+  Phase2Algorithm algorithm = Phase2Algorithm::kCram;
+  CramOptions cram;  // metric + optimization toggles (CRAM only)
+  OverlayBuildOptions overlay;
+  bool run_grape = true;
+  GrapeMode grape_mode = GrapeMode::kMinimizeLoad;
+  // PAIRWISE-K cluster count; 0 = derive by running CRAM with XOR, as the
+  // paper does.
+  std::size_t pairwise_k = 0;
+  // Fraction of each broker's reported output bandwidth the allocators may
+  // plan against. 1.0 maximizes utilization (the paper's objective); lower
+  // values trade brokers for delivery-delay headroom (less queueing).
+  double capacity_headroom = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// How disruptive applying a plan would be: every client that must detach
+// from its current broker and re-attach elsewhere.
+struct MigrationCost {
+  std::size_t subscribers_moved = 0;
+  std::size_t subscribers_total = 0;
+  std::size_t publishers_moved = 0;
+  std::size_t publishers_total = 0;
+  std::size_t brokers_decommissioned = 0;  // in the old overlay, not the new
+  std::size_t brokers_commissioned = 0;    // in the new overlay, not the old
+};
+
+struct ReconfigurationReport {
+  bool success = false;
+  ReconfigurationPlan plan;
+  GatherStats gather;
+  CramStats cram;                // populated when CRAM ran
+  OverlayBuildStats overlay;     // populated for recursive construction
+  MigrationCost migration;       // populated by reconfigure()
+  std::size_t allocated_brokers = 0;
+  std::size_t cluster_count = 0;
+  double phase1_seconds = 0;
+  double phase2_seconds = 0;
+  double phase3_seconds = 0;
+  double grape_seconds = 0;
+};
+
+// Compare a plan against the currently-deployed client placement.
+[[nodiscard]] MigrationCost migration_cost(const Deployment& current,
+                                           const ReconfigurationPlan& plan);
+
+class Croc {
+ public:
+  explicit Croc(CrocConfig config) : config_(config) {}
+
+  // Run all phases against a live simulation, entering the overlay at
+  // `entry`. The returned plan is not applied; pass it to apply_plan().
+  [[nodiscard]] ReconfigurationReport reconfigure(const Simulation& sim, BrokerId entry);
+
+  // Phases 2+3 from already-gathered information (also used by benches that
+  // skip the simulator).
+  [[nodiscard]] ReconfigurationReport plan_from_info(const GatheredInfo& info);
+
+  // Helpers shared with benches/tests.
+  [[nodiscard]] static std::vector<SubUnit> units_from(const GatheredInfo& info);
+  [[nodiscard]] static std::vector<AllocBroker> pool_from(const GatheredInfo& info);
+
+ private:
+  CrocConfig config_;
+};
+
+}  // namespace greenps

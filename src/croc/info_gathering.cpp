@@ -1,0 +1,61 @@
+#include "croc/info_gathering.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace greenps {
+
+namespace {
+
+// Recursive subtree gather: broker `b` received a BIR from `parent`
+// (or from CROC when parent == b). Returns the aggregated BIA of b's
+// subtree and accounts protocol messages.
+BrokerInformationAnswer gather_subtree(const Topology& overlay, BrokerId b, BrokerId parent,
+                                       const BrokerInfoProvider& provider,
+                                       std::unordered_set<BrokerId>& visited,
+                                       GatherStats& stats) {
+  visited.insert(b);
+  BrokerInformationAnswer answer;
+  // Broadcast the BIR to all (unvisited) neighbors, then wait for their BIAs.
+  for (const BrokerId n : overlay.neighbors(b)) {
+    if (n == parent || visited.contains(n)) continue;
+    stats.bir_messages += 1;
+    BrokerInformationAnswer child = gather_subtree(overlay, n, b, provider, visited, stats);
+    stats.bia_messages += 1;  // the child's aggregated BIA crosses one link
+    answer.infos.insert(answer.infos.end(),
+                        std::make_move_iterator(child.infos.begin()),
+                        std::make_move_iterator(child.infos.end()));
+  }
+  // Only now (no unanswered neighbors left) does b add its own info and
+  // reply.
+  answer.infos.push_back(provider(b));
+  stats.brokers_answered += 1;
+  return answer;
+}
+
+}  // namespace
+
+GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
+                                const BrokerInfoProvider& provider) {
+  assert(overlay.has_broker(entry));
+  GatheredInfo out;
+  std::unordered_set<BrokerId> visited;
+  out.stats.bir_messages += 1;  // CROC -> entry broker
+  BrokerInformationAnswer root =
+      gather_subtree(overlay, entry, entry, provider, visited, out.stats);
+  out.stats.bia_messages += 1;  // entry broker -> CROC
+  out.brokers = std::move(root.infos);
+
+  for (const BrokerInfo& info : out.brokers) {
+    for (const LocalSubscriptionInfo& s : info.subscriptions) {
+      out.subscriptions.push_back(SubscriptionRecord{info.id, s});
+    }
+    for (const LocalPublisherInfo& p : info.publishers) {
+      out.publishers.push_back(PublisherRecord{info.id, p.client, p.profile});
+      out.publisher_table[p.profile.adv] = p.profile;
+    }
+  }
+  return out;
+}
+
+}  // namespace greenps

@@ -1,0 +1,41 @@
+// Phase 1: information gathering over the live overlay.
+//
+// Implements the BIR/BIA protocol of Section III-A as an explicit
+// message-passing traversal: the BIR is broadcast, leaves answer
+// immediately, and interior brokers answer only after every neighbor they
+// forwarded the BIR to has answered — aggregating the received BIAs with
+// their own info into one message (the paper's overhead reduction).
+#pragma once
+
+#include <functional>
+
+#include "croc/messages.hpp"
+#include "overlay/topology.hpp"
+#include "profile/publisher_profile.hpp"
+
+namespace greenps {
+
+struct GatherStats {
+  std::size_t bir_messages = 0;  // one per overlay link traversed (+ entry)
+  std::size_t bia_messages = 0;  // one per link, aggregated
+  std::size_t brokers_answered = 0;
+};
+
+struct GatheredInfo {
+  std::vector<BrokerInfo> brokers;
+  std::vector<SubscriptionRecord> subscriptions;
+  std::vector<PublisherRecord> publishers;
+  PublisherTable publisher_table;
+  GatherStats stats;
+};
+
+// `provider` plays the role of each broker's CBC answering the BIR.
+using BrokerInfoProvider = std::function<BrokerInfo(BrokerId)>;
+
+// Runs the protocol starting at `entry`. The overlay must be connected;
+// cycles are tolerated (a broker answers its first BIR and ignores others,
+// as the dedup rule implies).
+[[nodiscard]] GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
+                                              const BrokerInfoProvider& provider);
+
+}  // namespace greenps

@@ -1,0 +1,3 @@
+#include "croc/messages.hpp"
+
+// Message structs are header-only; translation unit anchors the target.

@@ -1,0 +1,39 @@
+// Phase-1 protocol messages (Section III-A).
+//
+// CROC connects to one broker and sends a Broker Information Request (BIR);
+// brokers flood it to their neighbors and reply with Broker Information
+// Answers (BIA) only once all their downstream neighbors answered,
+// aggregating those answers with their own into a single BIA.
+#pragma once
+
+#include <vector>
+
+#include "broker/cbc.hpp"
+#include "common/ids.hpp"
+
+namespace greenps {
+
+struct BrokerInformationRequest {
+  BrokerId from;  // the neighbor (or CROC entry point) the BIR arrived from
+};
+
+struct BrokerInformationAnswer {
+  // Aggregated broker infos for the whole subtree that answered.
+  std::vector<BrokerInfo> infos;
+};
+
+// A subscription as CROC sees it after Phase 1: the BIA payload plus the
+// broker that reported it.
+struct SubscriptionRecord {
+  BrokerId home;
+  LocalSubscriptionInfo info;
+};
+
+// A publisher as CROC sees it after Phase 1.
+struct PublisherRecord {
+  BrokerId home;
+  ClientId client;
+  PublisherProfile profile;
+};
+
+}  // namespace greenps

@@ -1,0 +1,31 @@
+#include "croc/reconfig_plan.hpp"
+
+#include <cassert>
+
+namespace greenps {
+
+Deployment apply_plan(const Deployment& old_deployment, const ReconfigurationPlan& plan) {
+  Deployment next;
+  next.topology = plan.overlay;
+  next.profile_window_bits = old_deployment.profile_window_bits;
+  for (const BrokerId b : plan.overlay.brokers()) {
+    const auto it = old_deployment.capacities.find(b);
+    assert(it != old_deployment.capacities.end());
+    next.capacities.emplace(b, it->second);
+  }
+  for (const PublisherSpec& p : old_deployment.publishers) {
+    PublisherSpec np = p;
+    const auto it = plan.publisher_home.find(p.client);
+    np.home = it != plan.publisher_home.end() ? it->second : plan.root;
+    next.publishers.push_back(std::move(np));
+  }
+  for (const SubscriberSpec& s : old_deployment.subscribers) {
+    SubscriberSpec ns = s;
+    const auto it = plan.subscriber_home.find(s.sub);
+    ns.home = it != plan.subscriber_home.end() ? it->second : plan.root;
+    next.subscribers.push_back(std::move(ns));
+  }
+  return next;
+}
+
+}  // namespace greenps

@@ -1,0 +1,32 @@
+// The outcome of Phases 2-3 + GRAPE: where every broker, subscriber and
+// publisher should go. Applying a plan to the running deployment yields the
+// new deployment ("the results of the reassignment is in the form of
+// publications directed to each broker controlling where publishers and
+// subscribers should migrate, and which neighbors brokers should connect
+// with", Section III-A).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace greenps {
+
+struct ReconfigurationPlan {
+  Topology overlay;
+  BrokerId root;
+  std::vector<BrokerId> allocated_brokers;
+  std::unordered_map<SubId, BrokerId> subscriber_home;
+  std::unordered_map<ClientId, BrokerId> publisher_home;
+  std::size_t cluster_count = 0;
+};
+
+// Build the new deployment: the plan's overlay and client placements with
+// the old deployment's broker capacities and client/workload identities.
+// Clients without an explicit placement attach to the root.
+[[nodiscard]] Deployment apply_plan(const Deployment& old_deployment,
+                                    const ReconfigurationPlan& plan);
+
+}  // namespace greenps

@@ -1,0 +1,118 @@
+#include "grape/grape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <optional>
+
+namespace greenps {
+
+namespace {
+
+// BFS order and parents of `tree` rooted at `root`.
+struct Rooted {
+  std::vector<BrokerId> order;  // BFS order, root first
+  std::unordered_map<BrokerId, BrokerId> parent;
+  std::unordered_map<BrokerId, int> depth;
+};
+
+Rooted root_at(const Topology& tree, BrokerId root) {
+  Rooted r;
+  std::deque<BrokerId> queue{root};
+  r.parent[root] = root;
+  r.depth[root] = 0;
+  while (!queue.empty()) {
+    const BrokerId b = queue.front();
+    queue.pop_front();
+    r.order.push_back(b);
+    for (const BrokerId n : tree.neighbors(b)) {
+      if (!r.parent.contains(n)) {
+        r.parent[n] = b;
+        r.depth[n] = r.depth[b] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+double grape_cost(const Topology& tree, BrokerId candidate, AdvId adv,
+                  const std::unordered_map<BrokerId, SubscriptionProfile>& local_profiles,
+                  const PublisherTable& table, GrapeMode mode) {
+  const auto pub_it = table.find(adv);
+  if (pub_it == table.end()) return 0.0;
+  const PublisherProfile& pub = pub_it->second;
+  const Rooted rooted = root_at(tree, candidate);
+
+  if (mode == GrapeMode::kMinimizeDelay) {
+    // Rate-weighted broker-hop distance to every sink.
+    double cost = 0;
+    for (const auto& [b, profile] : local_profiles) {
+      const double f = profile.fraction_for(pub);
+      if (f <= 0) continue;
+      const auto dit = rooted.depth.find(b);
+      if (dit == rooted.depth.end()) continue;
+      cost += pub.rate_msg_s * f * static_cast<double>(dit->second);
+    }
+    return cost;
+  }
+
+  // kMinimizeLoad: each tree edge carries the union stream needed by the
+  // subtree below it; sum those rates. Post-order accumulation of per-
+  // subtree bit vectors for this publisher.
+  std::unordered_map<BrokerId, std::optional<WindowedBitVector>> subtree;
+  double cost = 0;
+  for (auto it = rooted.order.rbegin(); it != rooted.order.rend(); ++it) {
+    const BrokerId b = *it;
+    std::optional<WindowedBitVector> acc;
+    const auto lit = local_profiles.find(b);
+    if (lit != local_profiles.end()) {
+      if (const WindowedBitVector* v = lit->second.vector_for(adv)) {
+        if (v->count() > 0) acc = *v;
+      }
+    }
+    for (const BrokerId n : tree.neighbors(b)) {
+      if (rooted.parent.at(n) != b || n == b) continue;  // only children
+      const auto cit = subtree.find(n);
+      if (cit == subtree.end() || !cit->second.has_value()) continue;
+      if (!acc.has_value()) {
+        acc = cit->second;
+      } else {
+        acc->merge(*cit->second);
+      }
+    }
+    if (b != candidate && acc.has_value()) {
+      // The edge (parent(b), b) carries the subtree's union stream.
+      cost += pub.rate_msg_s * SubscriptionProfile::set_fraction(*acc, pub);
+    }
+    subtree.emplace(b, std::move(acc));
+  }
+  return cost;
+}
+
+GrapePlacement grape_place_publishers(
+    const Topology& tree, const std::vector<GrapePublisher>& publishers,
+    const std::unordered_map<BrokerId, SubscriptionProfile>& local_profiles,
+    const PublisherTable& table, GrapeMode mode) {
+  GrapePlacement placement;
+  const std::vector<BrokerId> candidates = tree.brokers();
+  assert(!candidates.empty());
+  for (const GrapePublisher& p : publishers) {
+    BrokerId best = candidates.front();
+    double best_cost = grape_cost(tree, best, p.adv, local_profiles, table, mode);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const double c = grape_cost(tree, candidates[i], p.adv, local_profiles, table, mode);
+      if (c < best_cost) {
+        best = candidates[i];
+        best_cost = c;
+      }
+    }
+    placement.broker_for[p.client] = best;
+    placement.cost[p.client] = best_cost;
+  }
+  return placement;
+}
+
+}  // namespace greenps

@@ -1,0 +1,50 @@
+// GRAPE — publisher relocation (Cheung & Jacobsen [5], re-implemented).
+//
+// After Phase 3 all publishers sit at the tree root. GRAPE moves each
+// publisher to the broker that minimizes, for that publisher's stream,
+// either (a) total broker load — the publication rate crossing every
+// overlay link, counting each link's traffic once — or (b) the
+// rate-weighted hop distance to the subscribers that sink its publications
+// (average delivery delay).
+//
+// All decisions are made from the per-broker subscription profiles, so
+// GRAPE is as language-independent as the rest of the framework.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "overlay/topology.hpp"
+#include "profile/publisher_profile.hpp"
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+enum class GrapeMode { kMinimizeLoad, kMinimizeDelay };
+
+struct GrapePublisher {
+  ClientId client;
+  AdvId adv;
+};
+
+struct GrapePlacement {
+  std::unordered_map<ClientId, BrokerId> broker_for;
+  // Objective value per publisher at the chosen broker (for diagnostics).
+  std::unordered_map<ClientId, double> cost;
+};
+
+// `local_profiles` maps each tree broker to the OR of the subscription
+// profiles it serves locally (brokers serving nothing may be absent).
+[[nodiscard]] GrapePlacement grape_place_publishers(
+    const Topology& tree, const std::vector<GrapePublisher>& publishers,
+    const std::unordered_map<BrokerId, SubscriptionProfile>& local_profiles,
+    const PublisherTable& table, GrapeMode mode);
+
+// Cost of placing one publisher at `candidate` (exposed for tests).
+[[nodiscard]] double grape_cost(const Topology& tree, BrokerId candidate, AdvId adv,
+                                const std::unordered_map<BrokerId, SubscriptionProfile>&
+                                    local_profiles,
+                                const PublisherTable& table, GrapeMode mode);
+
+}  // namespace greenps

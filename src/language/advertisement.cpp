@@ -1,0 +1,4 @@
+#include "language/advertisement.hpp"
+
+// Header-only today; translation unit kept so the build presents one .cpp
+// per public header and future out-of-line growth has a home.

@@ -1,0 +1,27 @@
+// An advertisement declares the space of publications a publisher will emit.
+// Subscriptions are only routed toward advertisements they intersect
+// (filter-based routing, Section II-A).
+#pragma once
+
+#include "common/ids.hpp"
+#include "language/subscription.hpp"
+
+namespace greenps {
+
+class Advertisement {
+ public:
+  Advertisement() = default;
+  Advertisement(AdvId id, Filter filter) : id_(id), filter_(std::move(filter)) {}
+
+  [[nodiscard]] AdvId id() const { return id_; }
+  [[nodiscard]] const Filter& filter() const { return filter_; }
+  // Advertisements promise that every emitted publication matches the
+  // advertisement filter.
+  [[nodiscard]] bool matches(const Publication& pub) const { return filter_.matches(pub); }
+
+ private:
+  AdvId id_;
+  Filter filter_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,137 @@
+#include "language/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <vector>
+
+namespace greenps {
+
+namespace {
+
+void skip_ws(std::string_view& s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+}
+
+[[noreturn]] void fail(std::string_view text, const std::string& why) {
+  throw ParseError("parse error: " + why + " near '" + std::string(text.substr(0, 32)) + "'");
+}
+
+// Split the interior of one [...] tuple into comma-separated fields,
+// respecting quoted strings.
+std::vector<std::string_view> split_fields(std::string_view body) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      fields.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  fields.push_back(body.substr(start));
+  return fields;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::optional<Op> parse_op(std::string_view tok) {
+  if (tok == "=") return Op::kEq;
+  if (tok == "!=" || tok == "<>") return Op::kNeq;
+  if (tok == "<") return Op::kLt;
+  if (tok == "<=") return Op::kLe;
+  if (tok == ">") return Op::kGt;
+  if (tok == ">=") return Op::kGe;
+  if (tok == "str-prefix") return Op::kPrefix;
+  if (tok == "str-suffix") return Op::kSuffix;
+  if (tok == "str-contains") return Op::kContains;
+  if (tok == "isPresent") return Op::kPresent;
+  return std::nullopt;
+}
+
+// Extract tuples, i.e. the interiors of the [...] groups.
+std::vector<std::string_view> split_tuples(std::string_view text) {
+  std::vector<std::string_view> tuples;
+  skip_ws(text);
+  while (!text.empty()) {
+    if (text.front() != '[') fail(text, "expected '['");
+    bool in_quote = false;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+      if (text[i] == '\'') in_quote = !in_quote;
+      if (text[i] == ']' && !in_quote) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string_view::npos) fail(text, "unterminated tuple");
+    tuples.push_back(text.substr(1, close - 1));
+    text.remove_prefix(close + 1);
+    skip_ws(text);
+    if (!text.empty()) {
+      if (text.front() != ',') fail(text, "expected ',' between tuples");
+      text.remove_prefix(1);
+      skip_ws(text);
+    }
+  }
+  return tuples;
+}
+
+}  // namespace
+
+Value parse_value(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) throw ParseError("empty value token");
+  if (token.front() == '\'') {
+    if (token.size() < 2 || token.back() != '\'') throw ParseError("unterminated string value");
+    return Value(std::string(token.substr(1, token.size() - 2)));
+  }
+  if (token == "true") return Value(true);
+  if (token == "false") return Value(false);
+  // Numeric: integer unless a '.', 'e' or 'E' appears.
+  const bool is_real = token.find_first_of(".eE") != std::string_view::npos;
+  if (is_real) {
+    double d = 0;
+    const auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || p != token.data() + token.size()) {
+      throw ParseError("bad real value '" + std::string(token) + "'");
+    }
+    return Value(d);
+  }
+  std::int64_t i = 0;
+  const auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), i);
+  if (ec != std::errc{} || p != token.data() + token.size()) {
+    throw ParseError("bad integer value '" + std::string(token) + "'");
+  }
+  return Value(i);
+}
+
+Filter parse_filter(std::string_view text) {
+  Filter f;
+  for (const auto tuple : split_tuples(text)) {
+    const auto fields = split_fields(tuple);
+    if (fields.size() != 3) fail(tuple, "filter tuple needs [attr,op,value]");
+    const auto op = parse_op(trim(fields[1]));
+    if (!op) fail(fields[1], "unknown operator");
+    f.add(Predicate{std::string(trim(fields[0])), *op, parse_value(fields[2])});
+  }
+  return f;
+}
+
+Publication parse_publication(std::string_view text) {
+  Publication pub;
+  for (const auto tuple : split_tuples(text)) {
+    const auto fields = split_fields(tuple);
+    if (fields.size() != 2) fail(tuple, "publication tuple needs [attr,value]");
+    pub.set_attr(std::string(trim(fields[0])), parse_value(fields[1]));
+  }
+  return pub;
+}
+
+}  // namespace greenps

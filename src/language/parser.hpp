@@ -1,0 +1,35 @@
+// Text parser for the PADRES-style tuple syntax used throughout the paper:
+//
+//   filter:      [class,=,'STOCK'],[symbol,=,'YHOO'],[volume,>,1000]
+//   publication: [class,'STOCK'],[open,18.37],[volume,6200]
+//
+// Values: single-quoted strings, integers, reals, and bare true/false
+// booleans. Operators: = != < <= > >= str-prefix str-suffix str-contains
+// isPresent.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "language/publication.hpp"
+#include "language/subscription.hpp"
+
+namespace greenps {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parse a filter (subscription/advertisement body). Throws ParseError.
+[[nodiscard]] Filter parse_filter(std::string_view text);
+
+// Parse a publication body (attribute/value tuples; header is set by the
+// publisher). Throws ParseError.
+[[nodiscard]] Publication parse_publication(std::string_view text);
+
+// Parse a single value token ('str', 42, 4.2, true).
+[[nodiscard]] Value parse_value(std::string_view token);
+
+}  // namespace greenps

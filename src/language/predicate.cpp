@@ -1,0 +1,64 @@
+#include "language/predicate.hpp"
+
+#include <sstream>
+
+namespace greenps {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNeq: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kPrefix: return "str-prefix";
+    case Op::kSuffix: return "str-suffix";
+    case Op::kContains: return "str-contains";
+    case Op::kPresent: return "isPresent";
+  }
+  return "?";
+}
+
+bool Predicate::matches(const Value& v) const {
+  switch (op) {
+    case Op::kEq:
+      return v.equals(value);
+    case Op::kNeq:
+      // Incomparable kinds are "not equal"; mirror SQL-ish tri-state by
+      // requiring comparable kinds for a positive match.
+      if (v.is_numeric() != value.is_numeric() || v.is_string() != value.is_string() ||
+          v.is_bool() != value.is_bool()) {
+        return false;
+      }
+      return !v.equals(value);
+    case Op::kLt:
+      return v.less_than(value);
+    case Op::kLe:
+      return v.less_than(value) || v.equals(value);
+    case Op::kGt:
+      return value.less_than(v);
+    case Op::kGe:
+      return value.less_than(v) || v.equals(value);
+    case Op::kPrefix:
+      return v.is_string() && value.is_string() &&
+             v.as_string().starts_with(value.as_string());
+    case Op::kSuffix:
+      return v.is_string() && value.is_string() &&
+             v.as_string().ends_with(value.as_string());
+    case Op::kContains:
+      return v.is_string() && value.is_string() &&
+             v.as_string().find(value.as_string()) != std::string::npos;
+    case Op::kPresent:
+      return true;
+  }
+  return false;
+}
+
+std::string Predicate::to_string() const {
+  std::ostringstream os;
+  os << '[' << attribute << ',' << op_name(op) << ',' << value.to_string() << ']';
+  return os.str();
+}
+
+}  // namespace greenps

@@ -1,0 +1,41 @@
+// One `[attribute, operator, value]` tuple of a subscription or
+// advertisement filter.
+#pragma once
+
+#include <string>
+
+#include "language/value.hpp"
+
+namespace greenps {
+
+enum class Op {
+  kEq,        // =
+  kNeq,       // !=  (negation support, Section II-C)
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kPrefix,    // str-prefix
+  kSuffix,    // str-suffix
+  kContains,  // str-contains
+  kPresent,   // attribute exists (value ignored)
+};
+
+[[nodiscard]] const char* op_name(Op op);
+
+struct Predicate {
+  std::string attribute;
+  Op op = Op::kEq;
+  Value value;
+
+  // Does a publication value satisfy this predicate?
+  [[nodiscard]] bool matches(const Value& v) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.attribute == b.attribute && a.op == b.op && a.value == b.value;
+  }
+};
+
+}  // namespace greenps

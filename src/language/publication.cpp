@@ -1,0 +1,48 @@
+#include "language/publication.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace greenps {
+
+void Publication::set_attr(std::string name, Value v) {
+  const auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& p, const std::string& n) { return p.first < n; });
+  if (it != attrs_.end() && it->first == name) {
+    it->second = std::move(v);
+  } else {
+    attrs_.emplace(it, std::move(name), std::move(v));
+  }
+}
+
+const Value* Publication::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& p, const std::string& n) { return p.first < n; });
+  if (it != attrs_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+MsgSize Publication::size_kb() const {
+  // Rough PADRES-like encoding estimate: ~24 bytes of header plus the
+  // rendered attribute tuples.
+  std::size_t bytes = 24;
+  for (const auto& [name, value] : attrs_) {
+    bytes += name.size() + value.to_string().size() + 4;
+  }
+  return static_cast<MsgSize>(bytes) / 1024.0;
+}
+
+std::string Publication::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) os << ',';
+    first = false;
+    os << '[' << name << ',' << value.to_string() << ']';
+  }
+  return os.str();
+}
+
+}  // namespace greenps

@@ -1,0 +1,47 @@
+// A publication message: an attribute→value map plus the routing header the
+// profiling framework relies on (advertisement ID identifying the publisher
+// and the per-publisher message sequence number, Section III-B).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "language/value.hpp"
+
+namespace greenps {
+
+class Publication {
+ public:
+  Publication() = default;
+  Publication(AdvId adv, MessageSeq seq) : adv_(adv), seq_(seq) {}
+
+  void set_attr(std::string name, Value v);
+  [[nodiscard]] const Value* find(const std::string& name) const;
+
+  [[nodiscard]] AdvId adv_id() const { return adv_; }
+  [[nodiscard]] MessageSeq seq() const { return seq_; }
+  void set_header(AdvId adv, MessageSeq seq) {
+    adv_ = adv;
+    seq_ = seq;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& attrs() const {
+    return attrs_;
+  }
+
+  // Approximate wire size in kB (used by the bandwidth model).
+  [[nodiscard]] MsgSize size_kb() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> attrs_;  // sorted by name
+  AdvId adv_;
+  MessageSeq seq_ = 0;
+};
+
+}  // namespace greenps

@@ -1,0 +1,26 @@
+#include "language/subscription.hpp"
+
+#include <sstream>
+
+namespace greenps {
+
+bool Filter::matches(const Publication& pub) const {
+  for (const auto& p : preds_) {
+    const Value* v = pub.find(p.attribute);
+    if (v == nullptr || !p.matches(*v)) return false;
+  }
+  return true;
+}
+
+std::string Filter::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : preds_) {
+    if (!first) os << ',';
+    first = false;
+    os << p.to_string();
+  }
+  return os.str();
+}
+
+}  // namespace greenps

@@ -1,0 +1,51 @@
+// Filters (predicate conjunctions) and subscriptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "language/predicate.hpp"
+#include "language/publication.hpp"
+
+namespace greenps {
+
+// A conjunction of predicates over distinct (or repeated, for ranges)
+// attributes. Shared by subscriptions and advertisements.
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<Predicate> preds) : preds_(std::move(preds)) {}
+
+  void add(Predicate p) { preds_.push_back(std::move(p)); }
+
+  [[nodiscard]] const std::vector<Predicate>& predicates() const { return preds_; }
+  [[nodiscard]] bool empty() const { return preds_.empty(); }
+
+  // A publication matches iff every predicate's attribute is present and
+  // satisfied.
+  [[nodiscard]] bool matches(const Publication& pub) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Filter&, const Filter&) = default;
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(SubId id, Filter filter) : id_(id), filter_(std::move(filter)) {}
+
+  [[nodiscard]] SubId id() const { return id_; }
+  [[nodiscard]] const Filter& filter() const { return filter_; }
+  [[nodiscard]] bool matches(const Publication& pub) const { return filter_.matches(pub); }
+
+ private:
+  SubId id_;
+  Filter filter_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,39 @@
+#include "language/value.hpp"
+
+#include <sstream>
+
+namespace greenps {
+
+double Value::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+  return std::get<double>(v_);
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) return as_double() == other.as_double();
+  if (is_string() && other.is_string()) return as_string() == other.as_string();
+  if (is_bool() && other.is_bool()) return as_bool() == other.as_bool();
+  return false;
+}
+
+bool Value::less_than(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) return as_double() < other.as_double();
+  if (is_string() && other.is_string()) return as_string() < other.as_string();
+  return false;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    os << *i;
+  } else if (const auto* d = std::get_if<double>(&v_)) {
+    os << *d;
+  } else if (const auto* s = std::get_if<std::string>(&v_)) {
+    os << '\'' << *s << '\'';
+  } else {
+    os << (std::get<bool>(v_) ? "'true'" : "'false'");
+  }
+  return os.str();
+}
+
+}  // namespace greenps

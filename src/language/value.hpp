@@ -1,0 +1,48 @@
+// Attribute values of the content-based publish/subscribe language.
+//
+// PADRES-style tuples carry typed values: integers, reals, strings, and
+// booleans. Numeric comparisons are performed in a common double domain so
+// `[volume,>,1000]` matches a publication carrying `[volume,6200]` whether
+// the workload generator emitted it as an integer or a real.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace greenps {
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(bool b) : v_(b) {}
+
+  [[nodiscard]] bool is_numeric() const {
+    return std::holds_alternative<std::int64_t>(v_) || std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+
+  // Numeric view; only valid when is_numeric().
+  [[nodiscard]] double as_double() const;
+  // String view; only valid when is_string().
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+
+  // Values of incomparable kinds are never equal and never ordered.
+  [[nodiscard]] bool equals(const Value& other) const;
+  // Strict ordering comparison. Returns false for incomparable kinds.
+  [[nodiscard]] bool less_than(const Value& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.equals(b); }
+
+ private:
+  std::variant<std::int64_t, double, std::string, bool> v_;
+};
+
+}  // namespace greenps

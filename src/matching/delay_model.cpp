@@ -1,0 +1,23 @@
+#include "matching/delay_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greenps {
+
+MsgRate MatchingDelayFunction::max_matching_rate(std::size_t num_subscriptions) const {
+  const double d = delay_s(num_subscriptions);
+  assert(d > 0);
+  return 1.0 / d;
+}
+
+MatchingDelayFunction fit_delay_function(std::size_t n1, double d1_s, std::size_t n2,
+                                         double d2_s) {
+  assert(n1 != n2);
+  const double slope =
+      (d2_s - d1_s) / (static_cast<double>(n2) - static_cast<double>(n1));
+  const double base = d1_s - slope * static_cast<double>(n1);
+  return MatchingDelayFunction{std::max(base, 1e-9), std::max(slope, 0.0)};
+}
+
+}  // namespace greenps

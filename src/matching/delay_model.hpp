@@ -1,0 +1,36 @@
+// Matching-delay model (Section III-A).
+//
+// Each broker's BIA message carries "a linear function that models the
+// matching delay as a function of the number of subscriptions". CROC uses
+// it to predict a broker's input-rate ceiling: the maximum matching rate is
+// the inverse of the per-message matching delay.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace greenps {
+
+struct MatchingDelayFunction {
+  // delay(n) = base_s + per_sub_s * n, in seconds per message.
+  double base_s = 20e-6;
+  double per_sub_s = 0.5e-6;
+
+  [[nodiscard]] double delay_s(std::size_t num_subscriptions) const {
+    return base_s + per_sub_s * static_cast<double>(num_subscriptions);
+  }
+
+  // Messages per second the broker can match while hosting
+  // `num_subscriptions` filters.
+  [[nodiscard]] MsgRate max_matching_rate(std::size_t num_subscriptions) const;
+
+  friend bool operator==(const MatchingDelayFunction&, const MatchingDelayFunction&) = default;
+};
+
+// Fit a linear delay function from two (n, delay) samples, as a CBC would
+// when profiling its own matching engine.
+[[nodiscard]] MatchingDelayFunction fit_delay_function(std::size_t n1, double d1_s,
+                                                       std::size_t n2, double d2_s);
+
+}  // namespace greenps

@@ -1,0 +1,90 @@
+#include "matching/matching_engine.hpp"
+
+#include <algorithm>
+
+namespace greenps {
+
+std::string MatchingEngine::value_key(const Value& v) {
+  // Numeric keys are canonicalized through double formatting so int 5 and
+  // real 5.0 land in the same bucket (they are equal under Value::equals).
+  if (v.is_numeric()) return "n:" + std::to_string(v.as_double());
+  if (v.is_string()) return "s:" + v.as_string();
+  return v.as_bool() ? "b:1" : "b:0";
+}
+
+const Predicate* MatchingEngine::pick_index_predicate(const Filter& f) const {
+  const Predicate* best = nullptr;
+  std::size_t best_distinct = 0;
+  for (const auto& p : f.predicates()) {
+    if (p.op != Op::kEq) continue;
+    std::size_t distinct = 0;
+    const auto it = buckets_.find(p.attribute);
+    if (it != buckets_.end()) distinct = it->second.size();
+    // `>=` so later predicates win ties: subscription filters typically put
+    // the broad class predicate first and the selective one after it.
+    if (best == nullptr || distinct >= best_distinct) {
+      best = &p;
+      best_distinct = distinct;
+    }
+  }
+  return best;
+}
+
+void MatchingEngine::insert(Handle handle, Filter filter) {
+  Entry e{std::move(filter), {}, {}};
+  if (const Predicate* p = pick_index_predicate(e.filter)) {
+    e.index_attr = p->attribute;
+    e.index_key = value_key(p->value);
+    buckets_[e.index_attr][e.index_key].push_back(handle);
+  } else {
+    scan_list_.push_back(handle);
+  }
+  entries_.insert_or_assign(handle, std::move(e));
+}
+
+void MatchingEngine::remove(Handle handle) {
+  const auto it = entries_.find(handle);
+  if (it == entries_.end()) return;
+  const Entry& e = it->second;
+  auto erase_from = [handle](std::vector<Handle>& v) {
+    v.erase(std::remove(v.begin(), v.end(), handle), v.end());
+  };
+  if (e.index_attr.empty()) {
+    erase_from(scan_list_);
+  } else {
+    auto bit = buckets_.find(e.index_attr);
+    if (bit != buckets_.end()) {
+      auto kit = bit->second.find(e.index_key);
+      if (kit != bit->second.end()) {
+        erase_from(kit->second);
+        if (kit->second.empty()) bit->second.erase(kit);
+      }
+    }
+  }
+  entries_.erase(it);
+}
+
+const Filter* MatchingEngine::find(Handle handle) const {
+  const auto it = entries_.find(handle);
+  return it == entries_.end() ? nullptr : &it->second.filter;
+}
+
+std::vector<MatchingEngine::Handle> MatchingEngine::match(const Publication& pub) const {
+  std::vector<Handle> out;
+  auto try_candidates = [&](const std::vector<Handle>& candidates) {
+    for (const Handle h : candidates) {
+      const auto it = entries_.find(h);
+      if (it != entries_.end() && it->second.filter.matches(pub)) out.push_back(h);
+    }
+  };
+  for (const auto& [attr, value] : pub.attrs()) {
+    const auto bit = buckets_.find(attr);
+    if (bit == buckets_.end()) continue;
+    const auto kit = bit->second.find(value_key(value));
+    if (kit != bit->second.end()) try_candidates(kit->second);
+  }
+  try_candidates(scan_list_);
+  return out;
+}
+
+}  // namespace greenps

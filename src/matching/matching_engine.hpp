@@ -1,0 +1,61 @@
+// Broker-side matching engine.
+//
+// Stores filters under opaque handles and, given a publication, returns the
+// handles of all matching filters. Filters carrying an equality predicate
+// are bucketed under one (attribute, value) pair — the engine adaptively
+// picks the attribute with the highest observed selectivity — so a match
+// only probes the buckets keyed by the publication's own attribute values
+// plus a small residual scan list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "language/publication.hpp"
+#include "language/subscription.hpp"
+
+namespace greenps {
+
+class MatchingEngine {
+ public:
+  using Handle = std::uint64_t;
+
+  // Insert a filter; `handle` must be unique among live entries.
+  void insert(Handle handle, Filter filter);
+  // Remove a previously inserted filter. Unknown handles are ignored.
+  void remove(Handle handle);
+
+  // Handles of all filters matching `pub` (unordered).
+  [[nodiscard]] std::vector<Handle> match(const Publication& pub) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Filter* find(Handle handle) const;
+
+  // Visit every live (handle, filter) pair.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [h, e] : entries_) fn(h, e.filter);
+  }
+
+ private:
+  struct Entry {
+    Filter filter;
+    std::string index_attr;  // empty => on the scan list
+    std::string index_key;
+  };
+
+  // Selectivity heuristic: prefer bucketing under the equality attribute
+  // with the most distinct values observed so far.
+  [[nodiscard]] const Predicate* pick_index_predicate(const Filter& f) const;
+  static std::string value_key(const Value& v);
+
+  std::unordered_map<Handle, Entry> entries_;
+  // (attr, value-key) -> handles
+  std::unordered_map<std::string, std::unordered_map<std::string, std::vector<Handle>>> buckets_;
+  // Filters without any equality predicate; always probed.
+  std::vector<Handle> scan_list_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,122 @@
+#include "overlay/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace greenps {
+
+namespace {
+const std::vector<BrokerId> kEmpty;
+}
+
+void Topology::add_broker(BrokerId b) {
+  adj_.try_emplace(b);
+}
+
+void Topology::remove_broker(BrokerId b) {
+  const auto it = adj_.find(b);
+  if (it == adj_.end()) return;
+  for (const BrokerId n : it->second) {
+    auto& back = adj_[n];
+    back.erase(std::remove(back.begin(), back.end(), b), back.end());
+    --links_;
+  }
+  adj_.erase(it);
+}
+
+bool Topology::has_broker(BrokerId b) const { return adj_.contains(b); }
+
+void Topology::add_link(BrokerId a, BrokerId b) {
+  assert(a != b);
+  add_broker(a);
+  add_broker(b);
+  if (has_link(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++links_;
+}
+
+void Topology::remove_link(BrokerId a, BrokerId b) {
+  if (!has_link(a, b)) return;
+  auto& va = adj_[a];
+  va.erase(std::remove(va.begin(), va.end(), b), va.end());
+  auto& vb = adj_[b];
+  vb.erase(std::remove(vb.begin(), vb.end(), a), vb.end());
+  --links_;
+}
+
+bool Topology::has_link(BrokerId a, BrokerId b) const {
+  const auto it = adj_.find(a);
+  if (it == adj_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), b) != it->second.end();
+}
+
+const std::vector<BrokerId>& Topology::neighbors(BrokerId b) const {
+  const auto it = adj_.find(b);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+std::vector<BrokerId> Topology::brokers() const {
+  std::vector<BrokerId> out;
+  out.reserve(adj_.size());
+  for (const auto& [b, nbrs] : adj_) {
+    (void)nbrs;
+    out.push_back(b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Topology::connected() const {
+  if (adj_.empty()) return true;
+  const auto dist = distances_from(adj_.begin()->first);
+  return dist.size() == adj_.size();
+}
+
+bool Topology::is_tree() const {
+  if (adj_.empty()) return true;
+  return connected() && links_ == adj_.size() - 1;
+}
+
+std::unordered_map<BrokerId, int> Topology::distances_from(BrokerId from) const {
+  std::unordered_map<BrokerId, int> dist;
+  if (!has_broker(from)) return dist;
+  std::deque<BrokerId> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    const BrokerId b = queue.front();
+    queue.pop_front();
+    for (const BrokerId n : neighbors(b)) {
+      if (!dist.contains(n)) {
+        dist[n] = dist[b] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<BrokerId>> Topology::path(BrokerId from, BrokerId to) const {
+  if (!has_broker(from) || !has_broker(to)) return std::nullopt;
+  std::unordered_map<BrokerId, BrokerId> parent;
+  std::deque<BrokerId> queue{from};
+  parent[from] = from;
+  while (!queue.empty() && !parent.contains(to)) {
+    const BrokerId b = queue.front();
+    queue.pop_front();
+    for (const BrokerId n : neighbors(b)) {
+      if (!parent.contains(n)) {
+        parent[n] = b;
+        queue.push_back(n);
+      }
+    }
+  }
+  if (!parent.contains(to)) return std::nullopt;
+  std::vector<BrokerId> rev{to};
+  while (rev.back() != from) rev.push_back(parent[rev.back()]);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace greenps

@@ -1,0 +1,48 @@
+// Broker overlay graph.
+//
+// The deployed overlays in the paper are trees (acyclic overlays are what
+// filter-based routing assumes), but the structure is kept as a general
+// undirected graph so intermediate states and invalid configurations can be
+// represented and checked.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace greenps {
+
+class Topology {
+ public:
+  void add_broker(BrokerId b);
+  void remove_broker(BrokerId b);
+  [[nodiscard]] bool has_broker(BrokerId b) const;
+
+  void add_link(BrokerId a, BrokerId b);
+  void remove_link(BrokerId a, BrokerId b);
+  [[nodiscard]] bool has_link(BrokerId a, BrokerId b) const;
+
+  [[nodiscard]] const std::vector<BrokerId>& neighbors(BrokerId b) const;
+  [[nodiscard]] std::vector<BrokerId> brokers() const;
+  [[nodiscard]] std::size_t broker_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_ ; }
+
+  [[nodiscard]] bool connected() const;
+  // Connected and |E| = |V| - 1.
+  [[nodiscard]] bool is_tree() const;
+
+  // Hop distances from `from` to every reachable broker.
+  [[nodiscard]] std::unordered_map<BrokerId, int> distances_from(BrokerId from) const;
+
+  // Unique path in a tree (BFS parent chase); nullopt if unreachable.
+  [[nodiscard]] std::optional<std::vector<BrokerId>> path(BrokerId from, BrokerId to) const;
+
+ private:
+  std::unordered_map<BrokerId, std::vector<BrokerId>> adj_;
+  std::size_t links_ = 0;
+};
+
+}  // namespace greenps

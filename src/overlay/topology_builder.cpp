@@ -1,0 +1,35 @@
+#include "overlay/topology_builder.hpp"
+
+#include <cassert>
+
+namespace greenps {
+
+Topology build_manual_tree(const std::vector<BrokerId>& brokers, std::size_t fanout) {
+  assert(fanout >= 1);
+  Topology t;
+  for (std::size_t i = 0; i < brokers.size(); ++i) {
+    t.add_broker(brokers[i]);
+    if (i > 0) t.add_link(brokers[(i - 1) / fanout], brokers[i]);
+  }
+  return t;
+}
+
+Topology build_random_tree(const std::vector<BrokerId>& brokers, Rng& rng) {
+  Topology t;
+  for (std::size_t i = 0; i < brokers.size(); ++i) {
+    t.add_broker(brokers[i]);
+    if (i > 0) t.add_link(brokers[rng.index(i)], brokers[i]);
+  }
+  return t;
+}
+
+Topology build_star(BrokerId center, const std::vector<BrokerId>& leaves) {
+  Topology t;
+  t.add_broker(center);
+  for (const BrokerId b : leaves) {
+    if (b != center) t.add_link(center, b);
+  }
+  return t;
+}
+
+}  // namespace greenps

@@ -1,0 +1,28 @@
+// Builders for the two baseline overlays of Section VI:
+//
+//   MANUAL    — fan-out-2 tree "to minimize the chance of overloading
+//               internal brokers"; under heterogeneity the most resourceful
+//               brokers sit at the top of the tree.
+//   AUTOMATIC — clients placed and overlay built randomly (random tree).
+#pragma once
+
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+
+namespace greenps {
+
+// Balanced tree with the given fan-out; brokers[0] is the root and levels
+// fill in order, so passing brokers sorted by descending capacity puts the
+// most resourceful brokers at the top (the heterogeneous MANUAL layout).
+[[nodiscard]] Topology build_manual_tree(const std::vector<BrokerId>& brokers,
+                                         std::size_t fanout = 2);
+
+// Uniformly random tree: each broker after the first links to a uniformly
+// random predecessor.
+[[nodiscard]] Topology build_random_tree(const std::vector<BrokerId>& brokers, Rng& rng);
+
+// Star topology (every broker linked to `center`) — used by overlay
+// construction fallbacks and tests.
+[[nodiscard]] Topology build_star(BrokerId center, const std::vector<BrokerId>& leaves);
+
+}  // namespace greenps

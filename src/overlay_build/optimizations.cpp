@@ -1,0 +1,147 @@
+#include "overlay_build/optimizations.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace greenps {
+
+void eliminate_pure_forwarders(BuildState& st, std::vector<BrokerId>& layer,
+                               OverlayBuildStats& stats) {
+  std::vector<BrokerId> result;
+  result.reserve(layer.size());
+  for (const BrokerId id : layer) {
+    const BrokerLoad& node = st.nodes.at(id);
+    const bool pure = node.units().size() == 1 && node.units()[0].is_child_broker() &&
+                      node.units()[0].child_members.size() == 1;
+    if (!pure) {
+      result.push_back(id);
+      continue;
+    }
+    // Deallocate the forwarder; its single child returns to the layer to be
+    // parented next round.
+    const BrokerId child = node.units()[0].child_members[0];
+    st.nodes.erase(id);
+    st.used.erase(id);
+    result.push_back(child);
+    stats.pure_forwarders_removed += 1;
+  }
+  layer = std::move(result);
+}
+
+void takeover_children(BuildState& st, std::vector<BrokerId>& layer,
+                       const PublisherTable& table, OverlayBuildStats& stats) {
+  for (const BrokerId pid : layer) {
+    // Children reachable through singleton child units, least utilized
+    // first ("in order of least-to-highest utilization", Section V-B).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const BrokerLoad& parent = st.nodes.at(pid);
+      std::vector<std::pair<double, BrokerId>> kids;
+      for (const SubUnit& u : parent.units()) {
+        if (u.is_child_broker() && u.child_members.size() == 1) {
+          const BrokerId c = u.child_members[0];
+          const auto cit = st.nodes.find(c);
+          if (cit != st.nodes.end()) kids.emplace_back(cit->second.utilization(), c);
+        }
+      }
+      std::sort(kids.begin(), kids.end());
+      for (const auto& [util, c] : kids) {
+        (void)util;
+        // Candidate load: the parent without c's child unit, plus all of
+        // c's own units.
+        BrokerLoad candidate(parent.broker());
+        bool ok = true;
+        for (const SubUnit& u : parent.units()) {
+          if (u.is_child_broker() && u.child_members.size() == 1 &&
+              u.child_members[0] == c) {
+            continue;  // the stream we are absorbing
+          }
+          if (!candidate.fits(u, table)) {
+            ok = false;
+            break;
+          }
+          candidate.add(u, table);
+        }
+        if (!ok) continue;
+        for (const SubUnit& u : st.nodes.at(c).units()) {
+          if (!candidate.fits(u, table)) {
+            ok = false;
+            break;
+          }
+          candidate.add(u, table);
+        }
+        if (!ok) continue;
+        // Commit: parent absorbs the child; the child broker is freed.
+        st.nodes.at(pid) = std::move(candidate);
+        st.nodes.erase(c);
+        st.used.erase(c);
+        stats.children_taken_over += 1;
+        changed = true;
+        break;  // re-enumerate children against the new load
+      }
+    }
+  }
+}
+
+void best_fit_replacement(BuildState& st, std::vector<BrokerId>& layer,
+                          const std::vector<AllocBroker>& all_brokers,
+                          const PublisherTable& table, OverlayBuildStats& stats) {
+  for (BrokerId& pid : layer) {
+    const BrokerLoad& node = st.nodes.at(pid);
+    // Smallest unallocated broker that still fits the load and is smaller
+    // than the current one.
+    const AllocBroker* best = nullptr;
+    for (const AllocBroker& b : all_brokers) {
+      if (st.used.contains(b.id)) continue;
+      if (b.out_bw >= node.broker().out_bw) continue;
+      if (best != nullptr && b.out_bw >= best->out_bw) continue;
+      BrokerLoad candidate(b);
+      bool ok = true;
+      for (const SubUnit& u : node.units()) {
+        if (!candidate.fits(u, table)) {
+          ok = false;
+          break;
+        }
+        candidate.add(u, table);
+      }
+      if (ok) best = &b;
+    }
+    if (best == nullptr) continue;
+    BrokerLoad replacement(*best);
+    for (const SubUnit& u : node.units()) replacement.add(u, table);
+    st.nodes.erase(pid);
+    st.used.erase(pid);
+    st.nodes.emplace(best->id, std::move(replacement));
+    st.used.insert(best->id);
+    pid = best->id;
+    stats.best_fit_replacements += 1;
+  }
+}
+
+void force_star_root(BuildState& st, const std::vector<AllocBroker>& pool,
+                     const PublisherTable& table, OverlayBuildStats& stats) {
+  stats.forced_root = true;
+  BrokerId root;
+  if (!pool.empty()) {
+    // Pool arrives sorted descending; take the most resourceful.
+    root = pool.front().id;
+    BrokerLoad load(pool.front());
+    for (const BrokerId id : st.current) {
+      load.add(make_child_broker_unit(id, st.nodes.at(id).union_profile(), table), table);
+    }
+    st.nodes.emplace(root, std::move(load));
+    st.used.insert(root);
+  } else {
+    root = st.current.front();
+    for (std::size_t i = 1; i < st.current.size(); ++i) {
+      st.extra_edges.emplace_back(root, st.current[i]);
+    }
+  }
+  st.root_override = root;
+  log::warn("phase-3: forced star root at broker ", to_string(root));
+}
+
+}  // namespace greenps

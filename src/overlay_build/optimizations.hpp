@@ -1,0 +1,51 @@
+// The three Phase-3 overlay optimizations (Section V-A..C, Figure 4) and
+// the shared build state they mutate.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "overlay_build/recursive_builder.hpp"
+
+namespace greenps {
+
+// Mutable state of the layer-by-layer construction.
+struct BuildState {
+  // Every allocated broker and what it hosts (subscription units at the
+  // leaf layer; child-broker units above).
+  std::unordered_map<BrokerId, BrokerLoad> nodes;
+  std::unordered_set<BrokerId> used;
+  std::vector<BrokerId> current;  // brokers of the layer awaiting a parent
+  // Edges added outside the unit bookkeeping (star-root fallback).
+  std::vector<std::pair<BrokerId, BrokerId>> extra_edges;
+  BrokerId root_override;
+};
+
+// Optimization 1: deallocate brokers that host exactly one child-broker
+// unit and nothing else (pure forwarders, Figure 4a). The orphaned child is
+// promoted back into the layer.
+void eliminate_pure_forwarders(BuildState& st, std::vector<BrokerId>& layer,
+                               OverlayBuildStats& stats);
+
+// Optimization 2: a parent with spare capacity absorbs the units of its
+// least-utilized children directly (Figure 4b), deallocating them. Only
+// singleton child units (not CRAM-clustered child groups) are absorbed.
+void takeover_children(BuildState& st, std::vector<BrokerId>& layer,
+                       const PublisherTable& table, OverlayBuildStats& stats);
+
+// Optimization 3: replace each layer broker with the smallest-capacity
+// unallocated broker that still fits its load (Figure 4c).
+void best_fit_replacement(BuildState& st, std::vector<BrokerId>& layer,
+                          const std::vector<AllocBroker>& all_brokers,
+                          const PublisherTable& table, OverlayBuildStats& stats);
+
+// Fallback when the allocator cannot consolidate the layer: pick the most
+// resourceful unallocated broker (or the first layer member) as a star root
+// for the remaining layer members.
+void force_star_root(BuildState& st, const std::vector<AllocBroker>& pool,
+                     const PublisherTable& table, OverlayBuildStats& stats);
+
+}  // namespace greenps

@@ -1,0 +1,107 @@
+#include "overlay_build/recursive_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "overlay_build/optimizations.hpp"
+
+namespace greenps {
+
+BuiltOverlay build_overlay(const Allocation& phase2,
+                           const std::vector<AllocBroker>& all_brokers,
+                           const PublisherTable& table, const AllocatorFn& allocator,
+                           const OverlayBuildOptions& options) {
+  assert(phase2.success && !phase2.brokers.empty());
+
+  BuildState st;
+  for (const BrokerLoad& load : phase2.brokers) {
+    const BrokerId id = load.broker().id;
+    st.nodes.emplace(id, load);
+    st.used.insert(id);
+    st.current.push_back(id);
+  }
+
+  BuiltOverlay out;
+  out.stats.layers = 1;  // the Phase-2 leaf layer
+
+  while (st.current.size() > 1) {
+    // Map each broker of the current layer to one subscription-like unit.
+    std::vector<SubUnit> child_units;
+    child_units.reserve(st.current.size());
+    for (const BrokerId id : st.current) {
+      child_units.push_back(
+          make_child_broker_unit(id, st.nodes.at(id).union_profile(), table));
+    }
+    // Remaining pool: every Phase-1 broker not already allocated.
+    std::vector<AllocBroker> pool;
+    for (const AllocBroker& b : all_brokers) {
+      if (!st.used.contains(b.id)) pool.push_back(b);
+    }
+    sort_by_capacity_desc(pool);
+
+    Allocation layer = allocator(pool, child_units, table);
+    const std::size_t prev_size = st.current.size();
+    if (!layer.success || layer.brokers.size() >= prev_size) {
+      // Pool exhausted or no consolidation possible: force a star root so
+      // the reconfiguration still terminates with a valid tree.
+      force_star_root(st, pool, table, out.stats);
+      break;
+    }
+    out.stats.layers += 1;
+
+    std::vector<BrokerId> next;
+    for (BrokerLoad& load : layer.brokers) {
+      const BrokerId id = load.broker().id;
+      st.nodes.emplace(id, std::move(load));
+      st.used.insert(id);
+      next.push_back(id);
+    }
+
+    if (options.eliminate_pure_forwarders) {
+      eliminate_pure_forwarders(st, next, out.stats);
+    }
+    if (options.takeover_children) {
+      takeover_children(st, next, table, out.stats);
+    }
+    if (options.best_fit_replacement) {
+      best_fit_replacement(st, next, all_brokers, table, out.stats);
+    }
+
+    if (next.size() >= prev_size) {
+      // Optimizations undid the consolidation; avoid cycling forever.
+      force_star_root(st, {}, table, out.stats);
+      st.current = {st.root_override};
+      break;
+    }
+    st.current = std::move(next);
+  }
+
+  // Derive the tree from the hosted child units.
+  const BrokerId root = st.root_override.valid() ? st.root_override : st.current.front();
+  out.root = root;
+  out.tree.add_broker(root);
+  for (const auto& [id, load] : st.nodes) {
+    out.tree.add_broker(id);
+    for (const SubUnit& u : load.units()) {
+      for (const BrokerId child : u.child_members) out.tree.add_link(id, child);
+    }
+  }
+  for (const auto& [parent, child] : st.extra_edges) out.tree.add_link(parent, child);
+
+  for (const auto& [id, load] : st.nodes) {
+    auto& hosted = out.hosted_units[id];
+    for (const SubUnit& u : load.units()) {
+      if (!u.is_child_broker()) hosted.push_back(u);
+    }
+  }
+
+  if (!out.tree.is_tree()) {
+    log::warn("phase-3 overlay is not a tree (brokers=", out.tree.broker_count(),
+              " links=", out.tree.link_count(), ")");
+  }
+  return out;
+}
+
+}  // namespace greenps

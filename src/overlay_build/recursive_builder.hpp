@@ -1,0 +1,59 @@
+// Phase 3 (Section V): recursive broker overlay construction.
+//
+// Each broker allocated by Phase 2 is mapped to a subscription-like unit
+// (the OR of all profiles it services) and the *same* allocation algorithm
+// is invoked recursively, building the tree layer by layer until a single
+// broker — the root, where publishers initially attach — remains. Three
+// optimizations (Section V-A..C) run after each layer: pure-forwarder
+// elimination, child takeover, and best-fit broker replacement.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "alloc/allocation.hpp"
+#include "overlay/topology.hpp"
+
+namespace greenps {
+
+struct OverlayBuildOptions {
+  bool eliminate_pure_forwarders = true;  // optimization 1
+  bool takeover_children = true;          // optimization 2
+  bool best_fit_replacement = true;       // optimization 3
+};
+
+struct OverlayBuildStats {
+  std::size_t layers = 0;
+  std::size_t pure_forwarders_removed = 0;
+  std::size_t children_taken_over = 0;
+  std::size_t best_fit_replacements = 0;
+  bool forced_root = false;  // allocator ran out of brokers; star fallback
+};
+
+struct BuiltOverlay {
+  Topology tree;
+  BrokerId root;
+  // Subscription units finally hosted per broker (after takeovers and
+  // replacements). Brokers present only as interior forwarders map to an
+  // empty vector.
+  std::unordered_map<BrokerId, std::vector<SubUnit>> hosted_units;
+  OverlayBuildStats stats;
+
+  [[nodiscard]] std::size_t broker_count() const { return tree.broker_count(); }
+};
+
+// The Phase-2 algorithm, re-invoked per layer. Receives the unallocated
+// broker pool and the child units; returns an Allocation (success=false
+// when the pool is exhausted).
+using AllocatorFn = std::function<Allocation(
+    const std::vector<AllocBroker>&, const std::vector<SubUnit>&, const PublisherTable&)>;
+
+// `phase2` is the leaf-layer allocation; `all_brokers` the full broker pool
+// from Phase 1 (used brokers are excluded automatically per layer).
+[[nodiscard]] BuiltOverlay build_overlay(const Allocation& phase2,
+                                         const std::vector<AllocBroker>& all_brokers,
+                                         const PublisherTable& table,
+                                         const AllocatorFn& allocator,
+                                         const OverlayBuildOptions& options = {});
+
+}  // namespace greenps

@@ -1,0 +1,57 @@
+// PANDA — PADRES Automated Node Deployer and Administrator (Section VI-A).
+//
+// "This tool allows us to specify the experiment setup within a text
+//  formatted topology file such as the time and nodes at which to run
+//  brokers and clients, as well as any process specific runtime parameters
+//  such as the neighbors for brokers."
+//
+// This module implements the topology-file format and turns a parsed file
+// into a Deployment (and back), so experiments can be described as data:
+//
+//   # comment
+//   broker   B0 bw=300 delay-base=20e-6 delay-per-sub=0.5e-6 start=0
+//   link     B0 B1
+//   publisher P0 broker=B0 symbol=AAA rate=1.1667 start=10
+//   subscriber C0 broker=B1 start=12 filter=[class,=,'STOCK'],[symbol,=,'AAA']
+//
+// Start times order the deployment (brokers and links are verified before
+// clients, as PANDA does); the simulator itself starts everything at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace greenps {
+
+class PandaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PandaTopology {
+  Deployment deployment;
+  // Declared start times (seconds), keyed by entity name.
+  std::unordered_map<std::string, double> start_times;
+  // Names in declaration order (useful for diagnostics and round-trips).
+  std::vector<std::string> broker_names;
+
+  // PANDA "verifies brokers and overlay links to be up and running before
+  // clients are deployed": all client start times must follow every broker
+  // start time. Returns the offending entity name, or empty if valid.
+  [[nodiscard]] std::string first_ordering_violation() const;
+};
+
+// Parse a topology file. Throws PandaError with a line number on malformed
+// input, unknown references, duplicate names, or self-links.
+[[nodiscard]] PandaTopology parse_panda(std::string_view text);
+
+// Render a deployment back into the topology-file format (stable order:
+// brokers, links, publishers, subscribers).
+[[nodiscard]] std::string write_panda(const Deployment& deployment);
+
+}  // namespace greenps

@@ -1,0 +1,192 @@
+#include "poset/poset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greenps {
+
+ProfilePoset::ProfilePoset() {
+  Node root;
+  root.alive = true;
+  nodes_.push_back(std::move(root));
+}
+
+bool ProfilePoset::alive(NodeId node) const {
+  return node < nodes_.size() && nodes_[node].alive;
+}
+
+const SubscriptionProfile& ProfilePoset::profile(NodeId node) const {
+  assert(alive(node));
+  return nodes_[node].profile;
+}
+
+std::uint64_t ProfilePoset::payload(NodeId node) const {
+  assert(alive(node));
+  return nodes_[node].payload;
+}
+
+const std::vector<ProfilePoset::NodeId>& ProfilePoset::children(NodeId node) const {
+  assert(alive(node));
+  return nodes_[node].children;
+}
+
+const std::vector<ProfilePoset::NodeId>& ProfilePoset::parents(NodeId node) const {
+  assert(alive(node));
+  return nodes_[node].parents;
+}
+
+bool ProfilePoset::node_covers(NodeId sup, const SubscriptionProfile& p) const {
+  if (sup == kRoot) return true;
+  return SubscriptionProfile::covers(nodes_[sup].profile, p);
+}
+
+void ProfilePoset::link(NodeId parent, NodeId child) {
+  auto& pc = nodes_[parent].children;
+  if (std::find(pc.begin(), pc.end(), child) == pc.end()) pc.push_back(child);
+  auto& cp = nodes_[child].parents;
+  if (std::find(cp.begin(), cp.end(), parent) == cp.end()) cp.push_back(parent);
+}
+
+void ProfilePoset::unlink(NodeId parent, NodeId child) {
+  auto& pc = nodes_[parent].children;
+  pc.erase(std::remove(pc.begin(), pc.end(), child), pc.end());
+  auto& cp = nodes_[child].parents;
+  cp.erase(std::remove(cp.begin(), cp.end(), parent), cp.end());
+}
+
+ProfilePoset::InsertResult ProfilePoset::insert(SubscriptionProfile p, std::uint64_t payload) {
+  // Phase A: find the parent frontier — nodes covering `p` none of whose
+  // children cover `p`. Start at the root (which covers everything).
+  std::vector<NodeId> parents;
+  std::vector<NodeId> stack{kRoot};
+  std::vector<bool> visited(nodes_.size(), false);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = true;
+    // Equal node already present?
+    if (n != kRoot && SubscriptionProfile::covers(p, nodes_[n].profile) &&
+        node_covers(n, p)) {
+      return {n, false};
+    }
+    bool child_covers = false;
+    for (const NodeId c : nodes_[n].children) {
+      if (node_covers(c, p)) {
+        child_covers = true;
+        if (!visited[c]) stack.push_back(c);
+      }
+    }
+    if (!child_covers) parents.push_back(n);
+  }
+
+  // Phase B: find the child frontier — maximal nodes that `p` covers.
+  // On a covered hit, record it and do not descend (its descendants are
+  // covered transitively and thus not maximal).
+  std::vector<NodeId> kids;
+  std::fill(visited.begin(), visited.end(), false);
+  stack.push_back(kRoot);
+  visited[kRoot] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId c : nodes_[n].children) {
+      if (visited[c]) continue;
+      visited[c] = true;
+      if (SubscriptionProfile::covers(p, nodes_[c].profile)) {
+        kids.push_back(c);
+      } else {
+        stack.push_back(c);
+      }
+    }
+  }
+
+  // Allocate the node.
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = nodes_.size();
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[id];
+  node.profile = std::move(p);
+  node.payload = payload;
+  node.alive = true;
+  node.parents.clear();
+  node.children.clear();
+  ++live_;
+
+  for (const NodeId par : parents) link(par, id);
+  for (const NodeId kid : kids) {
+    // Cut edges that the new node now mediates.
+    for (const NodeId par : parents) unlink(par, kid);
+    link(id, kid);
+  }
+  return {id, true};
+}
+
+void ProfilePoset::remove(NodeId node) {
+  assert(alive(node) && node != kRoot);
+  Node& n = nodes_[node];
+  const std::vector<NodeId> parents = n.parents;
+  const std::vector<NodeId> children = n.children;
+  for (const NodeId p : parents) unlink(p, node);
+  for (const NodeId c : children) unlink(node, c);
+  // Reconnect orphaned children to the removed node's parents. Edges may be
+  // redundant w.r.t. transitive reduction; traversals dedupe via visited
+  // sets, and ordering (parent covers child) still holds transitively.
+  for (const NodeId c : children) {
+    if (nodes_[c].parents.empty()) {
+      for (const NodeId p : parents) link(p, c);
+    }
+  }
+  n.alive = false;
+  n.payload = kNoPayload;
+  n.profile = SubscriptionProfile();
+  --live_;
+  free_list_.push_back(node);
+}
+
+std::vector<ProfilePoset::NodeId> ProfilePoset::descendants(NodeId node) const {
+  assert(alive(node));
+  std::vector<NodeId> out;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{node};
+  seen[node] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId c : nodes_[n].children) {
+      if (!seen[c]) {
+        seen[c] = true;
+        out.push_back(c);
+        stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+bool ProfilePoset::check_invariants() const {
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].alive) continue;
+    for (const NodeId c : nodes_[n].children) {
+      if (!nodes_[c].alive) return false;
+      if (!node_covers(n, nodes_[c].profile)) return false;
+      const auto& cp = nodes_[c].parents;
+      if (std::find(cp.begin(), cp.end(), n) == cp.end()) return false;
+    }
+    if (n != kRoot && nodes_[n].parents.empty()) return false;
+  }
+  // Reachability from root.
+  std::size_t reached = 0;
+  bfs([&reached](NodeId) {
+    ++reached;
+    return true;
+  });
+  return reached == live_;
+}
+
+}  // namespace greenps

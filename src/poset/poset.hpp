@@ -1,0 +1,95 @@
+// Partially-ordered set of subscription profiles (Section IV-C.2).
+//
+// A DAG whose nodes are profiles ordered by bit-vector containment: a parent
+// covers (is a superset of) each of its children; profiles with intersecting
+// or empty relationships appear as siblings. A virtual ROOT covers
+// everything. CRAM inserts one node per GIF and walks the DAG breadth-first,
+// pruning subtrees whose relation to the probe is empty.
+//
+// Unlike the classical SIENA poset, ordering is decided from the *profiles*
+// (bit vectors), not the subscription language — the paper's key point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+class ProfilePoset {
+ public:
+  using NodeId = std::size_t;
+  static constexpr NodeId kRoot = 0;
+  static constexpr std::uint64_t kNoPayload = ~std::uint64_t{0};
+
+  ProfilePoset();
+
+  struct InsertResult {
+    NodeId node;
+    bool inserted;  // false => an equal node already existed; `node` is it
+  };
+
+  // Insert a profile carrying an opaque payload (e.g. a GIF id).
+  // If an equal profile already exists, nothing is inserted.
+  InsertResult insert(SubscriptionProfile profile, std::uint64_t payload);
+
+  // Remove a node, reconnecting its parents to its children.
+  void remove(NodeId node);
+
+  [[nodiscard]] bool alive(NodeId node) const;
+  [[nodiscard]] const SubscriptionProfile& profile(NodeId node) const;
+  [[nodiscard]] std::uint64_t payload(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& parents(NodeId node) const;
+
+  // Number of live nodes (excluding the root).
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Breadth-first walk from the root. `fn(node)` returns true to descend
+  // into the node's children. The root itself is not visited.
+  template <typename Fn>
+  void bfs(Fn&& fn) const {
+    std::vector<NodeId> queue{children(kRoot)};
+    std::vector<bool> seen(nodes_.size(), false);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId n = queue[head];
+      if (seen[n]) continue;
+      seen[n] = true;
+      if (fn(n)) {
+        for (const NodeId c : children(n)) {
+          if (!seen[c]) queue.push_back(c);
+        }
+      }
+    }
+  }
+
+  // All live descendants of `node` (nodes whose profiles it covers).
+  [[nodiscard]] std::vector<NodeId> descendants(NodeId node) const;
+
+  // Internal-consistency check used by tests: every edge parent->child obeys
+  // covers(parent, child), and every live non-root node is reachable.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    SubscriptionProfile profile;
+    std::uint64_t payload = kNoPayload;
+    std::vector<NodeId> parents;
+    std::vector<NodeId> children;
+    bool alive = false;
+  };
+
+  // Does `sup` cover `sub`? The root covers everything.
+  [[nodiscard]] bool node_covers(NodeId sup, const SubscriptionProfile& p) const;
+
+  void link(NodeId parent, NodeId child);
+  void unlink(NodeId parent, NodeId child);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_list_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace greenps

@@ -1,0 +1,42 @@
+#include "profile/closeness.hpp"
+
+namespace greenps {
+
+const char* metric_name(ClosenessMetric m) {
+  switch (m) {
+    case ClosenessMetric::kIntersect: return "INTERSECT";
+    case ClosenessMetric::kXor: return "XOR";
+    case ClosenessMetric::kIos: return "IOS";
+    case ClosenessMetric::kIou: return "IOU";
+  }
+  return "?";
+}
+
+bool metric_prunes_empty(ClosenessMetric metric) {
+  return metric != ClosenessMetric::kXor;
+}
+
+double closeness(ClosenessMetric metric, const SubscriptionProfile& a,
+                 const SubscriptionProfile& b) {
+  switch (metric) {
+    case ClosenessMetric::kIntersect:
+      return static_cast<double>(SubscriptionProfile::intersect_count(a, b));
+    case ClosenessMetric::kXor: {
+      const std::size_t x = SubscriptionProfile::xor_count(a, b);
+      return x == 0 ? kXorCap : 1.0 / static_cast<double>(x);
+    }
+    case ClosenessMetric::kIos: {
+      const auto i = static_cast<double>(SubscriptionProfile::intersect_count(a, b));
+      const auto s = static_cast<double>(a.cardinality() + b.cardinality());
+      return s == 0 ? 0.0 : i * i / s;
+    }
+    case ClosenessMetric::kIou: {
+      const auto i = static_cast<double>(SubscriptionProfile::intersect_count(a, b));
+      const auto u = static_cast<double>(SubscriptionProfile::union_count(a, b));
+      return u == 0 ? 0.0 : i * i / u;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace greenps

@@ -1,0 +1,34 @@
+// The four closeness metrics of Section IV-C.
+//
+//   INTERSECT: |S1 ∩ S2|
+//   XOR:       1 / |S1 ⊕ S2|   (capped on division by zero; Gryphon-derived)
+//   IOS:       |S1 ∩ S2|² / (|S1| + |S2|)
+//   IOU:       |S1 ∩ S2|² / |S1 ∪ S2|
+//
+// Higher is always more favorable. INTERSECT, IOS and IOU are zero exactly
+// when the two profiles share no publication — the property the poset search
+// pruning of CRAM's optimization 2 exploits. XOR is non-zero even for
+// disjoint profiles, which is why it cannot prune and runs ≥75% longer.
+#pragma once
+
+#include <string>
+
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+enum class ClosenessMetric { kIntersect, kXor, kIos, kIou };
+
+[[nodiscard]] const char* metric_name(ClosenessMetric m);
+
+// Cap applied when |S1 ⊕ S2| = 0 (identical profiles) under XOR.
+inline constexpr double kXorCap = 2147483648.0;  // 2^31
+
+[[nodiscard]] double closeness(ClosenessMetric metric, const SubscriptionProfile& a,
+                               const SubscriptionProfile& b);
+
+// True for metrics whose zero value identifies an empty relation, enabling
+// poset search pruning (all but XOR).
+[[nodiscard]] bool metric_prunes_empty(ClosenessMetric metric);
+
+}  // namespace greenps

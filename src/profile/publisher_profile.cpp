@@ -1,0 +1,3 @@
+#include "profile/publisher_profile.hpp"
+
+// Currently header-only; translation unit reserved for future growth.

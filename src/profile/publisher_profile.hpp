@@ -1,0 +1,28 @@
+// Publisher profile (Section III-B): advertisement ID, publication rate,
+// bandwidth consumption, and the message ID of the last publication sent.
+// CROC combines these with subscription bit vectors to estimate load.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace greenps {
+
+struct PublisherProfile {
+  AdvId adv;
+  MsgRate rate_msg_s = 0;     // publications per second
+  Bandwidth bw_kb_s = 0;      // rate * average message size
+  MessageSeq last_seq = -1;   // message ID of the last publication sent
+
+  // Average publication size implied by rate and bandwidth.
+  [[nodiscard]] MsgSize avg_msg_kb() const {
+    return rate_msg_s > 0 ? bw_kb_s / rate_msg_s : 0.0;
+  }
+};
+
+// All publishers known to CROC, keyed by advertisement ID.
+using PublisherTable = std::unordered_map<AdvId, PublisherProfile>;
+
+}  // namespace greenps

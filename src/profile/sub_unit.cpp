@@ -1,0 +1,49 @@
+#include "profile/sub_unit.hpp"
+
+#include <cassert>
+
+namespace greenps {
+
+SubUnit make_subscription_unit(SubId id, SubscriptionProfile profile,
+                               const PublisherTable& table) {
+  SubUnit u;
+  u.in_rate = profile.induced_rate(table);
+  u.out_bw = profile.induced_bandwidth(table);
+  u.profile = std::move(profile);
+  u.members = {id};
+  u.filter_count = 1;
+  return u;
+}
+
+SubUnit make_child_broker_unit(BrokerId broker, SubscriptionProfile profile,
+                               const PublisherTable& table) {
+  SubUnit u;
+  u.in_rate = profile.induced_rate(table);
+  // The parent forwards the union stream to the child exactly once.
+  u.out_bw = profile.induced_bandwidth(table);
+  u.profile = std::move(profile);
+  u.child_members = {broker};
+  u.filter_count = 1;
+  return u;
+}
+
+SubUnit cluster_units(const SubUnit& a, const SubUnit& b, const PublisherTable& table) {
+  assert(a.is_child_broker() == b.is_child_broker());
+  SubUnit u;
+  u.profile = a.profile;
+  u.profile.merge(b.profile);
+  u.members = a.members;
+  u.members.insert(u.members.end(), b.members.begin(), b.members.end());
+  u.child_members = a.child_members;
+  u.child_members.insert(u.child_members.end(), b.child_members.begin(),
+                         b.child_members.end());
+  u.filter_count = a.filter_count + b.filter_count;
+  u.in_rate = u.profile.induced_rate(table);
+  // Each endpoint (subscriber or child broker) still receives its own copy
+  // of every matching publication, so output requirements add even when the
+  // input streams overlap.
+  u.out_bw = a.out_bw + b.out_bw;
+  return u;
+}
+
+}  // namespace greenps

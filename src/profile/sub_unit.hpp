@@ -1,0 +1,60 @@
+// SubUnit: the unit of allocation in Phases 2 and 3.
+//
+// A unit is either (a) one subscription, (b) a cluster of subscriptions
+// formed by CRAM (profile = OR of members, output requirement = sum over
+// member endpoints, since each subscriber still receives its own copy), or
+// (c) a Phase-3 "child broker" unit whose union stream is forwarded once
+// per child, so its output requirement is computed from the OR'd profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+struct SubUnit {
+  SubscriptionProfile profile;
+  // Subscriber endpoints served by this unit (one per original
+  // subscription). Empty for child-broker units.
+  std::vector<SubId> members;
+  // Phase-3 units: the already-allocated child brokers whose union streams
+  // this unit represents. Empty for subscription units.
+  std::vector<BrokerId> child_members;
+
+  // Publication rate flowing *into* a broker because it hosts this unit
+  // (from the OR'd profile — shared publications counted once).
+  MsgRate in_rate = 0;
+  // Output bandwidth needed to serve this unit (sum over member endpoints
+  // for clusters; one union stream per child broker for Phase-3 units).
+  Bandwidth out_bw = 0;
+  // Number of individual filters inside (capacity tests feed it to the
+  // matching delay function). Child-broker units count 1 filter per child.
+  std::size_t filter_count = 1;
+
+  [[nodiscard]] bool is_child_broker() const { return !child_members.empty(); }
+  [[nodiscard]] std::size_t endpoint_count() const {
+    return is_child_broker() ? child_members.size() : members.size();
+  }
+};
+
+// Build a unit for one subscription.
+[[nodiscard]] SubUnit make_subscription_unit(SubId id, SubscriptionProfile profile,
+                                             const PublisherTable& table);
+
+// Build a Phase-3 unit representing an allocated broker: `profile` is the OR
+// of all profiles the broker services.
+[[nodiscard]] SubUnit make_child_broker_unit(BrokerId broker, SubscriptionProfile profile,
+                                             const PublisherTable& table);
+
+// Cluster two units of the same kind (Figure 1): OR the profiles,
+// concatenate members, sum output requirements, recompute the induced input
+// rate.
+[[nodiscard]] SubUnit cluster_units(const SubUnit& a, const SubUnit& b,
+                                    const PublisherTable& table);
+
+}  // namespace greenps

@@ -1,0 +1,93 @@
+// Subscription profile (Section III-B): one windowed bit vector per
+// publisher the subscription received publications from. All of Phases 2
+// and 3 operate on these profiles — never on the subscription language —
+// which is what makes the allocation framework language-independent.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "bitvec/windowed_bit_vector.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "profile/publisher_profile.hpp"
+
+namespace greenps {
+
+// Set-relationship between two profiles, decided purely from bit vectors
+// (the online Appendix's relation classification).
+enum class Relation { kEqual, kSuperset, kSubset, kIntersect, kEmpty };
+
+[[nodiscard]] const char* relation_name(Relation r);
+
+class SubscriptionProfile {
+ public:
+  explicit SubscriptionProfile(std::size_t window_bits = WindowedBitVector::kDefaultCapacity)
+      : window_bits_(window_bits) {}
+
+  // Record delivery of publication `seq` from publisher `adv`.
+  void record(AdvId adv, MessageSeq seq);
+
+  [[nodiscard]] const std::map<AdvId, WindowedBitVector>& vectors() const { return vectors_; }
+  [[nodiscard]] std::size_t window_bits() const { return window_bits_; }
+
+  // Total number of set bits across all publishers.
+  [[nodiscard]] std::size_t cardinality() const;
+  [[nodiscard]] bool empty() const { return cardinality() == 0; }
+
+  // OR-merge another profile into this one (Figure 1 clustering).
+  void merge(const SubscriptionProfile& other);
+
+  // --- Pairwise set algebra, aligned by (publisher, message ID) ---
+  [[nodiscard]] static std::size_t intersect_count(const SubscriptionProfile& a,
+                                                   const SubscriptionProfile& b);
+  [[nodiscard]] static std::size_t union_count(const SubscriptionProfile& a,
+                                               const SubscriptionProfile& b);
+  [[nodiscard]] static std::size_t xor_count(const SubscriptionProfile& a,
+                                             const SubscriptionProfile& b);
+  // Every publication recorded by `sub` was also recorded by `sup`.
+  [[nodiscard]] static bool covers(const SubscriptionProfile& sup,
+                                   const SubscriptionProfile& sub);
+  [[nodiscard]] static Relation relation(const SubscriptionProfile& a,
+                                         const SubscriptionProfile& b);
+
+  // Identical set bits (the GIF grouping criterion).
+  [[nodiscard]] static bool same_bits(const SubscriptionProfile& a,
+                                      const SubscriptionProfile& b);
+  // Hash over set bits, stable across windows with different anchors.
+  [[nodiscard]] std::size_t bit_hash() const;
+
+  // --- Load estimation (Section III-B) ---
+  // A profile with k of n observed bits set for a publisher at r msg/s and
+  // b kB/s induces r*k/n msg/s and b*k/n kB/s. Publishers absent from
+  // `table` contribute nothing.
+  [[nodiscard]] MsgRate induced_rate(const PublisherTable& table) const;
+  [[nodiscard]] Bandwidth induced_bandwidth(const PublisherTable& table) const;
+
+  // Publication rate common to both profiles (used to estimate the rate of
+  // a union without materializing it: r(a∪b) = r(a) + r(b) − r(a∩b)).
+  [[nodiscard]] static MsgRate intersection_rate(const SubscriptionProfile& a,
+                                                 const SubscriptionProfile& b,
+                                                 const PublisherTable& table);
+
+  // Bit vector for one publisher, or nullptr if none recorded.
+  [[nodiscard]] const WindowedBitVector* vector_for(AdvId adv) const;
+  // Fraction of `pub`'s observed stream this profile sinks (0 when absent).
+  [[nodiscard]] double fraction_for(const PublisherProfile& pub) const;
+  // Fraction of `pub`'s observed stream captured by one bit vector.
+  [[nodiscard]] static double set_fraction(const WindowedBitVector& v,
+                                           const PublisherProfile& pub);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<AdvId, WindowedBitVector> vectors_;
+  std::size_t window_bits_;
+  // Cardinality is consulted by every closeness computation; cache it and
+  // invalidate on mutation (record/merge).
+  mutable std::size_t card_cache_ = kNoCache;
+  static constexpr std::size_t kNoCache = ~std::size_t{0};
+};
+
+}  // namespace greenps

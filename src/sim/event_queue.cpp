@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace greenps {
+
+void EventQueue::schedule(SimTime time, Action action) {
+  assert(time >= now_);
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(SimTime end) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().time <= end) {
+    // Move the action out before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++count;
+    ++executed_;
+  }
+  now_ = end;
+  return count;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
+}  // namespace greenps

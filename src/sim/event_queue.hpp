@@ -1,0 +1,48 @@
+// Discrete-event scheduler: a min-heap of (time, insertion sequence,
+// action). Ties break on insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace greenps {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(SimTime time, Action action);
+
+  // Execute events in time order until the queue is drained or the next
+  // event is after `end`. Returns the number of events executed.
+  std::size_t run_until(SimTime end);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+
+  void clear();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace greenps

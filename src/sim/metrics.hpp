@@ -1,0 +1,88 @@
+// Measurement of the quantities the paper's evaluation reports: per-broker
+// message rates, publication hop counts, end-to-end delivery delays, and
+// broker utilization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace greenps {
+
+// Logarithmically-bucketed latency histogram: constant memory regardless of
+// delivery volume, ~7% relative error on percentile estimates.
+class DelayHistogram {
+ public:
+  void record(SimTime delay);
+  // Estimated delay (in ms) below which `fraction` of samples fall.
+  [[nodiscard]] double percentile_ms(double fraction) const;
+  [[nodiscard]] std::uint64_t samples() const { return total_; }
+  void reset();
+
+ private:
+  // Buckets span [100 us * 1.15^i]; ~120 buckets cover 100 us .. ~2 min.
+  static constexpr std::size_t kBuckets = 120;
+  static constexpr double kFirstBucketUs = 100.0;
+  static constexpr double kGrowth = 1.15;
+
+  [[nodiscard]] static std::size_t bucket_for(SimTime delay);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+struct BrokerTraffic {
+  std::uint64_t msgs_in = 0;        // publications processed (matched)
+  std::uint64_t msgs_out = 0;       // copies sent (to brokers and clients)
+  std::uint64_t local_deliveries = 0;
+};
+
+// Aggregate summary over one measurement window.
+struct SimSummary {
+  double duration_s = 0;
+  std::size_t brokers_with_traffic = 0;
+  std::size_t allocated_brokers = 0;  // brokers present in the deployment
+  std::uint64_t publications = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t broker_msgs_total = 0;  // sum over brokers of in+out
+  double avg_broker_msg_rate = 0;       // broker_msgs_total / duration / allocated
+  double system_msg_rate = 0;           // broker_msgs_total / duration
+  double avg_hop_count = 0;             // brokers traversed per delivery
+  double avg_delivery_delay_ms = 0;
+  double p50_delivery_delay_ms = 0;
+  double p99_delivery_delay_ms = 0;
+  double avg_output_utilization = 0;    // mean busy fraction of output links
+  std::size_t pure_forwarding_brokers = 0;
+};
+
+class MetricsCollector {
+ public:
+  void on_broker_process(BrokerId b) { traffic_[b].msgs_in += 1; }
+  void on_broker_send(BrokerId b) { traffic_[b].msgs_out += 1; }
+  void on_publication() { publications_ += 1; }
+  void on_delivery(BrokerId last_broker, int broker_hops, SimTime delay);
+
+  [[nodiscard]] const std::unordered_map<BrokerId, BrokerTraffic>& traffic() const {
+    return traffic_;
+  }
+  [[nodiscard]] std::uint64_t publications() const { return publications_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] double avg_hops() const;
+  [[nodiscard]] double avg_delay_ms() const;
+  [[nodiscard]] const DelayHistogram& delay_histogram() const { return delays_; }
+
+  void reset();
+
+ private:
+  std::unordered_map<BrokerId, BrokerTraffic> traffic_;
+  std::uint64_t publications_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t hop_total_ = 0;
+  double delay_total_s_ = 0;
+  DelayHistogram delays_;
+};
+
+}  // namespace greenps

@@ -1,0 +1,3 @@
+#include "sim/network.hpp"
+
+// Configuration-only today; translation unit kept to anchor the target.

@@ -1,0 +1,16 @@
+// Network latency model. Broker-to-broker links and client attachments have
+// fixed propagation latency; serialization (bandwidth) delay is modeled by
+// each broker's output BandwidthLimiter, matching the paper's setup where
+// output bandwidth is the throttled resource.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace greenps {
+
+struct NetworkConfig {
+  SimTime link_latency = seconds(0.0005);    // 0.5 ms between brokers (LAN)
+  SimTime client_latency = seconds(0.0002);  // 0.2 ms broker <-> client
+};
+
+}  // namespace greenps

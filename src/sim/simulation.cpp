@@ -1,0 +1,249 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "matching/relations.hpp"
+
+namespace greenps {
+
+Simulation::Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net)
+    : quotes_(std::move(quotes)), net_(net) {
+  redeploy(std::move(deployment));
+}
+
+Broker& Simulation::broker(BrokerId id) {
+  const auto it = brokers_.find(id);
+  assert(it != brokers_.end());
+  return *it->second;
+}
+
+const Broker& Simulation::broker(BrokerId id) const {
+  const auto it = brokers_.find(id);
+  assert(it != brokers_.end());
+  return *it->second;
+}
+
+void Simulation::redeploy(Deployment deployment) {
+  deployment_ = std::move(deployment);
+  brokers_.clear();
+  publishers_.clear();
+  queue_.clear();
+  metrics_.reset();
+  measured_s_ = 0;
+  publishers_scheduled_ = false;
+  for (const BrokerId b : deployment_.topology.brokers()) {
+    const auto cap_it = deployment_.capacities.find(b);
+    const BrokerCapacity cap =
+        cap_it != deployment_.capacities.end() ? cap_it->second : BrokerCapacity{};
+    brokers_.emplace(b, std::make_unique<Broker>(b, cap, deployment_.profile_window_bits));
+  }
+  for (const auto& spec : deployment_.publishers) {
+    PublisherState st;
+    st.spec = spec;
+    st.next_seq = seq_.try_emplace(spec.adv, 0).first->second;
+    publishers_.push_back(std::move(st));
+  }
+  install_routing();
+}
+
+void Simulation::install_routing() {
+  // Advertisement flooding: every broker learns each advertisement and the
+  // direction (last hop) toward its publisher.
+  for (const auto& pub : deployment_.publishers) {
+    assert(deployment_.topology.has_broker(pub.home));
+    // BFS tree rooted at the publisher's home broker.
+    std::unordered_map<BrokerId, BrokerId> toward;  // broker -> neighbor toward home
+    std::vector<BrokerId> frontier{pub.home};
+    toward[pub.home] = pub.home;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const BrokerId b = frontier[head];
+      for (const BrokerId n : deployment_.topology.neighbors(b)) {
+        if (!toward.contains(n)) {
+          toward[n] = b;
+          frontier.push_back(n);
+        }
+      }
+    }
+    const Advertisement adv(pub.adv, pub.adv_filter);
+    for (const auto& [b, via] : toward) {
+      const Hop hop = b == pub.home ? Hop::to_client(pub.client) : Hop::to_broker(via);
+      broker(b).prt().insert(adv, hop);
+    }
+    broker(pub.home).cbc().register_publisher(pub.client, pub.adv);
+  }
+
+  // Subscription propagation: each subscription is installed at every
+  // broker on the path from its home broker toward each intersecting
+  // advertisement's home broker, pointing back toward the subscriber.
+  for (const auto& sub : deployment_.subscribers) {
+    assert(deployment_.topology.has_broker(sub.home));
+    broker(sub.home).srt().insert(sub.sub, sub.filter, Hop::to_client(sub.client));
+    broker(sub.home).cbc().register_subscription(sub.sub, sub.client, sub.filter);
+    for (const auto& pub : deployment_.publishers) {
+      if (!intersects(pub.adv_filter, sub.filter)) continue;
+      const auto path = deployment_.topology.path(sub.home, pub.home);
+      assert(path.has_value());
+      // path[0] = sub.home; install at path[1..] pointing to path[i-1].
+      for (std::size_t i = 1; i < path->size(); ++i) {
+        broker((*path)[i]).srt().insert(sub.sub, sub.filter,
+                                        Hop::to_broker((*path)[i - 1]));
+      }
+    }
+  }
+}
+
+void Simulation::schedule_publisher(std::size_t pub_index, SimTime first) {
+  PublisherState& st = publishers_[pub_index];
+  if (st.spec.rate_msg_s <= 0) return;
+  queue_.schedule(first, [this, pub_index] { publish(pub_index); });
+}
+
+void Simulation::publish(std::size_t pub_index) {
+  PublisherState& st = publishers_[pub_index];
+  const SimTime now = queue_.now();
+
+  auto pub = std::make_shared<Publication>(quotes_.next(st.spec.symbol));
+  const MessageSeq seq = st.next_seq++;
+  seq_[st.spec.adv] = st.next_seq;
+  pub->set_header(st.spec.adv, seq);
+  metrics_.on_publication();
+  broker(st.spec.home).cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
+
+  const SimTime arrival = now + net_.client_latency;
+  queue_.schedule(arrival, [this, pub = std::move(pub), home = st.spec.home, now] {
+    arrive_at_broker(home, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
+  });
+
+  // Next publication, fixed inter-arrival spacing.
+  const auto period = static_cast<SimTime>(
+      std::llround(static_cast<double>(kMicrosPerSecond) / st.spec.rate_msg_s));
+  queue_.schedule(now + std::max<SimTime>(period, 1),
+                  [this, pub_index] { publish(pub_index); });
+}
+
+void Simulation::arrive_at_broker(BrokerId b, std::shared_ptr<const Publication> pub,
+                                  BrokerId from, bool has_from, int broker_hops,
+                                  SimTime publish_time) {
+  Broker& br = broker(b);
+  metrics_.on_broker_process(b);
+  const int hops_here = broker_hops + 1;
+
+  const SimTime service = br.matching_service_time();
+  br.cbc().record_matching(br.srt().filter_count(), service);
+  const SimTime matched_at = br.matcher().serve(queue_.now(), service);
+  const BrokerId* exclude = has_from ? &from : nullptr;
+  // Routing decision is computed against current tables; the simulator's
+  // tables are static during a run, so evaluating now is equivalent to
+  // evaluating at matched_at and avoids copying the tables into the closure.
+  auto decision = br.route(*pub, exclude);
+
+  const MsgSize size = pub->size_kb();
+  for (const BrokerId next : decision.forward_to) {
+    const SimTime sent_at = br.out_link().transmit(matched_at, size);
+    metrics_.on_broker_send(b);
+    queue_.schedule(sent_at + net_.link_latency,
+                    [this, next, pub, b, hops_here, publish_time] {
+                      arrive_at_broker(next, pub, b, /*has_from=*/true, hops_here,
+                                       publish_time);
+                    });
+  }
+  for (const auto& [sub_id, client] : decision.deliver) {
+    const SimTime sent_at = br.out_link().transmit(matched_at, size);
+    metrics_.on_broker_send(b);
+    const SimTime delivered_at = sent_at + net_.client_latency;
+    queue_.schedule(delivered_at, [this, b, sub_id = sub_id, pub, hops_here, publish_time,
+                                   delivered_at] {
+      metrics_.on_delivery(b, hops_here, delivered_at - publish_time);
+      broker(b).cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
+    });
+  }
+}
+
+void Simulation::run(double duration_s) {
+  const SimTime start = queue_.now();
+  const SimTime end = start + seconds(duration_s);
+  if (!publishers_scheduled_) {
+    // Start publishers, staggering initial publications across one period
+    // to avoid a synchronized burst.
+    for (std::size_t i = 0; i < publishers_.size(); ++i) {
+      const auto& spec = publishers_[i].spec;
+      if (spec.rate_msg_s <= 0) continue;
+      const auto period = static_cast<SimTime>(
+          std::llround(static_cast<double>(kMicrosPerSecond) / spec.rate_msg_s));
+      const SimTime first = start + (period * static_cast<SimTime>(i)) /
+                                        static_cast<SimTime>(publishers_.size() + 1);
+      schedule_publisher(i, first);
+    }
+    publishers_scheduled_ = true;
+  }
+  queue_.run_until(end);
+  // Events past `end` (in-flight deliveries, future publications) stay
+  // queued; a subsequent run() continues seamlessly.
+  measured_s_ += duration_s;
+}
+
+void Simulation::reset_metrics() {
+  metrics_.reset();
+  measured_s_ = 0;
+}
+
+BrokerInfo Simulation::broker_info(BrokerId id) const {
+  const Broker& br = broker(id);
+  return br.cbc().snapshot(id, br.capacity().delay, br.capacity().out_bw_kb_s);
+}
+
+SimSummary Simulation::summarize() const {
+  SimSummary s;
+  s.duration_s = measured_s_;
+  s.allocated_brokers = brokers_.size();
+  s.publications = metrics_.publications();
+  s.deliveries = metrics_.deliveries();
+  s.avg_hop_count = metrics_.avg_hops();
+  s.avg_delivery_delay_ms = metrics_.avg_delay_ms();
+  s.p50_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.50);
+  s.p99_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.99);
+
+  double util_total = 0;
+  for (const auto& [b, traffic] : metrics_.traffic()) {
+    (void)b;
+    if (traffic.msgs_in + traffic.msgs_out > 0) s.brokers_with_traffic += 1;
+    s.broker_msgs_total += traffic.msgs_in + traffic.msgs_out;
+  }
+  std::size_t with_subs_or_traffic = 0;
+  for (const auto& [id, br] : brokers_) {
+    const auto it = metrics_.traffic().find(id);
+    const bool processed = it != metrics_.traffic().end() && it->second.msgs_in > 0;
+    if (processed) {
+      with_subs_or_traffic += 1;
+      util_total += static_cast<double>(br->out_link().busy_time());
+      const bool no_local = it->second.local_deliveries == 0;
+      // A pure forwarder processes traffic but hosts no clients and fans
+      // out to at most one direction (Section V-A, Figure 4a).
+      if (no_local && deployment_.topology.neighbors(id).size() <= 2) {
+        bool hosts_client = false;
+        for (const auto& sub : deployment_.subscribers) {
+          if (sub.home == id) hosts_client = true;
+        }
+        for (const auto& pub : deployment_.publishers) {
+          if (pub.home == id) hosts_client = true;
+        }
+        if (!hosts_client) s.pure_forwarding_brokers += 1;
+      }
+    }
+  }
+  if (s.duration_s > 0) {
+    s.system_msg_rate = static_cast<double>(s.broker_msgs_total) / s.duration_s;
+    if (s.allocated_brokers > 0) {
+      s.avg_broker_msg_rate = s.system_msg_rate / static_cast<double>(s.allocated_brokers);
+    }
+    if (with_subs_or_traffic > 0) {
+      s.avg_output_utilization = util_total / static_cast<double>(kMicrosPerSecond) /
+                                 s.duration_s / static_cast<double>(with_subs_or_traffic);
+    }
+  }
+  return s;
+}
+
+}  // namespace greenps

@@ -1,0 +1,106 @@
+// The deployment simulator.
+//
+// Stands in for the paper's cluster/SciNet testbeds: brokers are queueing
+// stations (matching CPU + throttled output link) connected by fixed-latency
+// links; publishers emit stock quotes on a fixed schedule; filter-based
+// routing is installed exactly as PADRES would (advertisement flooding,
+// subscriptions propagated toward intersecting advertisements). CBCs profile
+// deliveries, so after a measurement run CROC can gather real BrokerInfo.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "workload/stock_quote.hpp"
+
+namespace greenps {
+
+struct PublisherSpec {
+  ClientId client;
+  AdvId adv;
+  std::string symbol;   // stock published by this publisher
+  MsgRate rate_msg_s = 70.0 / 60.0;
+  BrokerId home;
+  Filter adv_filter;    // advertisement announced by this publisher
+};
+
+struct SubscriberSpec {
+  ClientId client;
+  SubId sub;
+  Filter filter;
+  BrokerId home;
+};
+
+struct Deployment {
+  Topology topology;
+  std::unordered_map<BrokerId, BrokerCapacity> capacities;
+  std::vector<PublisherSpec> publishers;
+  std::vector<SubscriberSpec> subscribers;
+  // Capacity of every CBC profiling bit vector (Section III-B; default 1,280).
+  std::size_t profile_window_bits = WindowedBitVector::kDefaultCapacity;
+};
+
+class Simulation {
+ public:
+  Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net = {});
+
+  // Advance simulated time by `duration_s`, generating and routing
+  // publications. May be called repeatedly; metrics accumulate until
+  // reset_metrics().
+  void run(double duration_s);
+
+  // Replace the deployment (topology + client placement) with a new one —
+  // the reconfiguration at the end of Phase 3. Queues, routing tables and
+  // metrics restart; publisher sequence numbers and the stock price walks
+  // continue, so profiles remain consistent across reconfigurations.
+  void redeploy(Deployment deployment);
+
+  [[nodiscard]] const Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] Broker& broker(BrokerId id);
+  [[nodiscard]] const Broker& broker(BrokerId id) const;
+
+  // BIA payload for one broker (what its CBC currently knows).
+  [[nodiscard]] BrokerInfo broker_info(BrokerId id) const;
+
+  [[nodiscard]] SimSummary summarize() const;
+  void reset_metrics();
+
+  // Total simulated seconds measured since the last metrics reset.
+  [[nodiscard]] double measured_seconds() const { return measured_s_; }
+
+ private:
+  struct PublisherState {
+    PublisherSpec spec;
+    MessageSeq next_seq = 0;
+  };
+
+  void install_routing();
+  void schedule_publisher(std::size_t pub_index, SimTime first);
+  void publish(std::size_t pub_index);
+  void arrive_at_broker(BrokerId b, std::shared_ptr<const Publication> pub,
+                        BrokerId from, bool has_from, int broker_hops,
+                        SimTime publish_time);
+
+  Deployment deployment_;
+  StockQuoteGenerator quotes_;
+  NetworkConfig net_;
+  EventQueue queue_;
+  MetricsCollector metrics_;
+  std::unordered_map<BrokerId, std::unique_ptr<Broker>> brokers_;
+  std::vector<PublisherState> publishers_;
+  // Sequence numbers survive redeploys (bit vector counters stay in sync).
+  std::unordered_map<AdvId, MessageSeq> seq_;
+  double measured_s_ = 0;
+  bool publishers_scheduled_ = false;
+};
+
+}  // namespace greenps

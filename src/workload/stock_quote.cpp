@@ -1,0 +1,74 @@
+#include "workload/stock_quote.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenps {
+
+namespace {
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+double round2(double v) { return std::round(v * 100.0) / 100.0; }
+double round3(double v) { return std::round(v * 1000.0) / 1000.0; }
+}  // namespace
+
+StockQuoteGenerator::StockQuoteGenerator(Config config, Rng rng)
+    : config_(config), seed_(rng.engine()()) {}
+
+StockQuoteGenerator::SymbolState& StockQuoteGenerator::state_for(const std::string& symbol) {
+  auto it = symbols_.find(symbol);
+  if (it == symbols_.end()) {
+    SymbolState s{Rng(seed_ ^ std::hash<std::string>{}(symbol)), 0, 0};
+    s.close = s.rng.uniform_real(config_.min_initial_price, config_.max_initial_price);
+    it = symbols_.emplace(symbol, std::move(s)).first;
+  }
+  return it->second;
+}
+
+std::string StockQuoteGenerator::format_date(int day_index) {
+  // Trading-day calendar starting 5-Sep-96, matching the paper's sample.
+  const int day = 5 + day_index;
+  const int month = 8 + day / 28;  // September = index 8
+  const int year = 96 + month / 12;
+  return std::to_string(1 + (day - 1) % 28) + "-" + kMonths[month % 12] + "-" +
+         std::to_string(year % 100);
+}
+
+double StockQuoteGenerator::reference_price(const std::string& symbol) {
+  return state_for(symbol).close;
+}
+
+Publication StockQuoteGenerator::next(const std::string& symbol) {
+  SymbolState& s = state_for(symbol);
+  const double open = s.close > 0 ? s.close : 10.0;
+  // Geometric random walk for the close.
+  const double ret = s.rng.gaussian(0.0, config_.daily_volatility);
+  double close = std::max(0.01, open * std::exp(ret));
+  close = round2(close);
+  const double spread_hi = std::abs(s.rng.gaussian(0.0, config_.intraday_spread));
+  const double spread_lo = std::abs(s.rng.gaussian(0.0, config_.intraday_spread));
+  const double high = round2(std::max(open, close) * (1.0 + spread_hi));
+  const double low = round2(std::max(0.01, std::min(open, close) * (1.0 - spread_lo)));
+  const auto volume = s.rng.uniform_int(config_.min_volume, config_.max_volume);
+
+  Publication p;
+  p.set_attr("class", Value(std::string("STOCK")));
+  p.set_attr("symbol", Value(symbol));
+  p.set_attr("open", Value(round2(open)));
+  p.set_attr("high", Value(high));
+  p.set_attr("low", Value(low));
+  p.set_attr("close", Value(close));
+  p.set_attr("volume", Value(volume));
+  p.set_attr("date", Value(format_date(s.day)));
+  p.set_attr("openClose%Diff", Value(round3(open > 0 ? (close - open) / open : 0.0)));
+  p.set_attr("highLow%Diff", Value(round3(high > 0 ? (high - low) / high : 0.0)));
+  p.set_attr("closeEqualsLow", Value(std::string(close == low ? "true" : "false")));
+  p.set_attr("closeEqualsHigh", Value(std::string(close == high ? "true" : "false")));
+
+  s.close = close;
+  s.day += 1;
+  return p;
+}
+
+}  // namespace greenps

@@ -1,0 +1,42 @@
+#include "workload/subscription_gen.hpp"
+
+#include <cmath>
+
+namespace greenps {
+
+Filter SubscriptionGenerator::next(const std::string& symbol, StockQuoteGenerator& quotes) {
+  Filter f;
+  f.add({"class", Op::kEq, Value(std::string("STOCK"))});
+  f.add({"symbol", Op::kEq, Value(symbol)});
+  if (rng_.chance(config_.template_fraction)) return f;
+
+  // Add one inequality predicate on a random quote attribute.
+  static constexpr const char* kPriceAttrs[] = {"open", "high", "low", "close"};
+  static constexpr Op kOps[] = {Op::kLt, Op::kLe, Op::kGt, Op::kGe};
+  const Op op = kOps[rng_.index(4)];
+  const std::size_t which = rng_.index(6);
+  if (which < 4) {
+    const double ref = quotes.reference_price(symbol);
+    // Threshold within ±3 sigma-ish of the walk so selectivity varies from
+    // near-none to near-all.
+    const double threshold = ref * rng_.uniform_real(0.9, 1.1);
+    f.add({kPriceAttrs[which], op, Value(std::round(threshold * 100.0) / 100.0)});
+  } else if (which == 4) {
+    const auto& cfg = quotes.config();
+    const std::int64_t threshold = rng_.uniform_int(cfg.min_volume, cfg.max_volume);
+    f.add({"volume", op, Value(threshold)});
+  } else {
+    f.add({"highLow%Diff", op, Value(rng_.uniform_real(0.0, 0.05))});
+  }
+  return f;
+}
+
+std::vector<Filter> SubscriptionGenerator::batch(const std::string& symbol, std::size_t count,
+                                                 StockQuoteGenerator& quotes) {
+  std::vector<Filter> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next(symbol, quotes));
+  return out;
+}
+
+}  // namespace greenps

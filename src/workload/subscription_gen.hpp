@@ -1,0 +1,43 @@
+// Subscription workload of Section VI-A:
+//
+//   "40% of the subscriptions subscribe to the template
+//    [class,=,'STOCK'],[symbol,=,'YHOO'], while the other 60% also
+//    subscribe to that same subscription but with an additional inequality
+//    attribute, such as [class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,...]"
+//
+// Thresholds for the inequality predicates are drawn around each symbol's
+// current walk price (or the volume range) so the resulting subscriptions
+// select varying, non-trivial fractions of the publication stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "language/subscription.hpp"
+#include "workload/stock_quote.hpp"
+
+namespace greenps {
+
+class SubscriptionGenerator {
+ public:
+  struct Config {
+    double template_fraction = 0.4;  // plain [class][symbol] subscriptions
+  };
+
+  SubscriptionGenerator(Config config, Rng rng) : config_(config), rng_(std::move(rng)) {}
+
+  // One subscription filter interested in `symbol`. `quotes` supplies the
+  // reference price so inequality thresholds land inside the price walk.
+  [[nodiscard]] Filter next(const std::string& symbol, StockQuoteGenerator& quotes);
+
+  // `count` subscriptions for one symbol.
+  [[nodiscard]] std::vector<Filter> batch(const std::string& symbol, std::size_t count,
+                                          StockQuoteGenerator& quotes);
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace greenps

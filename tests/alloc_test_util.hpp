@@ -1,0 +1,55 @@
+// Shared helpers for allocation-layer tests: synthetic publishers, profiles
+// and broker pools.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "common/rng.hpp"
+#include "profile/sub_unit.hpp"
+
+namespace greenps::testutil {
+
+// One publisher: 100 msg/s, 100 kB/s. The publisher's last_seq is far past
+// any profile window, so every 100-bit window is fully observed and one set
+// bit = exactly 1 msg/s = 1 kB/s regardless of where the window anchors.
+inline PublisherTable one_publisher(AdvId adv = AdvId{0}) {
+  PublisherTable t;
+  t[adv] = PublisherProfile{adv, 100.0, 100.0, 100000};
+  return t;
+}
+
+inline SubscriptionProfile range_profile(MessageSeq from, MessageSeq to,
+                                         AdvId adv = AdvId{0}) {
+  SubscriptionProfile p(100);
+  for (MessageSeq s = from; s < to; ++s) p.record(adv, s);
+  return p;
+}
+
+inline SubUnit unit(std::uint64_t id, MessageSeq from, MessageSeq to,
+                    const PublisherTable& table, AdvId adv = AdvId{0}) {
+  return make_subscription_unit(SubId{id}, range_profile(from, to, adv), table);
+}
+
+// `n` homogeneous brokers with the given output bandwidth.
+inline std::vector<AllocBroker> pool(std::size_t n, Bandwidth out_bw,
+                                     MatchingDelayFunction delay = {20e-6, 0.5e-6}) {
+  std::vector<AllocBroker> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(AllocBroker{BrokerId{i}, out_bw, delay});
+  }
+  return out;
+}
+
+// Total endpoints across an allocation (for conservation checks).
+inline std::vector<SubId> all_members(const Allocation& a) {
+  std::vector<SubId> out;
+  for (const auto& b : a.brokers) {
+    for (const auto& u : b.units()) {
+      out.insert(out.end(), u.members.begin(), u.members.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace greenps::testutil

@@ -1,0 +1,153 @@
+#include "alloc/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/bin_packing.hpp"
+#include "alloc/fbf.hpp"
+#include "alloc_test_util.hpp"
+
+namespace greenps {
+namespace {
+
+using testutil::all_members;
+using testutil::one_publisher;
+using testutil::pool;
+using testutil::unit;
+
+TEST(BrokerLoad, FitsRespectsBandwidth) {
+  const auto table = one_publisher();
+  BrokerLoad load(AllocBroker{BrokerId{0}, 50.0, {20e-6, 0.5e-6}});
+  const SubUnit u = unit(1, 0, 30, table);  // 30 kB/s
+  EXPECT_TRUE(load.fits(u, table));
+  load.add(u, table);
+  EXPECT_NEAR(load.used_bw(), 30.0, 1e-9);
+  // A second 30 kB/s unit would leave remaining <= 0.
+  EXPECT_FALSE(load.fits(unit(2, 40, 70, table), table));
+  // A 19 kB/s unit leaves 1 kB/s > 0.
+  EXPECT_TRUE(load.fits(unit(3, 40, 59, table), table));
+}
+
+TEST(BrokerLoad, FitsRespectsMatchingRate) {
+  const auto table = one_publisher();
+  // Broker with huge bandwidth but a matching ceiling of 1/(0.02+0.0) = 50/s.
+  BrokerLoad load(AllocBroker{BrokerId{0}, 1.0e9, {0.02, 0.0}});
+  EXPECT_FALSE(load.fits(unit(1, 0, 60, table), table));  // 60 msg/s > 50
+  EXPECT_TRUE(load.fits(unit(2, 0, 40, table), table));   // 40 msg/s ok
+}
+
+TEST(BrokerLoad, UnionRateCountsOverlapOnce) {
+  const auto table = one_publisher();
+  BrokerLoad load(AllocBroker{BrokerId{0}, 1000.0, {20e-6, 0.5e-6}});
+  load.add(unit(1, 0, 50, table), table);
+  load.add(unit(2, 25, 75, table), table);
+  EXPECT_NEAR(load.in_rate(), 75.0, 1e-6);      // union 0..75
+  EXPECT_NEAR(load.used_bw(), 100.0, 1e-9);     // outputs add
+  EXPECT_EQ(load.filter_count(), 2u);
+}
+
+TEST(FirstFit, FillsBrokersInOrder) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (int i = 0; i < 6; ++i) units.push_back(unit(static_cast<std::uint64_t>(i), 0, 30, table));
+  // Each broker fits three 30 kB/s units (remaining 10 > 0).
+  const Allocation a = first_fit(pool(3, 100.0), units, table);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(a.brokers_used(), 2u);
+  EXPECT_EQ(a.brokers[0].units().size(), 3u);
+  EXPECT_EQ(a.unit_count(), 6u);
+}
+
+TEST(FirstFit, FailsWhenPoolTooSmall) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (int i = 0; i < 10; ++i) units.push_back(unit(static_cast<std::uint64_t>(i), 0, 60, table));
+  const Allocation a = first_fit(pool(2, 100.0), units, table);
+  EXPECT_FALSE(a.success);
+}
+
+TEST(FirstFit, EmptyUnitsSucceedTrivially) {
+  const auto table = one_publisher();
+  const Allocation a = first_fit(pool(2, 100.0), {}, table);
+  EXPECT_TRUE(a.success);
+  EXPECT_EQ(a.brokers_used(), 0u);
+}
+
+TEST(Fbf, AllocatesEverythingAndPreservesMembers) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (int i = 0; i < 20; ++i) {
+    units.push_back(unit(static_cast<std::uint64_t>(i), i, i + 20, table));
+  }
+  Rng rng(1);
+  const Allocation a = fbf_allocate(pool(10, 100.0), units, table, rng);
+  ASSERT_TRUE(a.success);
+  auto members = all_members(a);
+  EXPECT_EQ(members.size(), 20u);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(std::adjacent_find(members.begin(), members.end()), members.end());
+}
+
+TEST(Fbf, PrefersMostResourcefulBroker) {
+  const auto table = one_publisher();
+  std::vector<AllocBroker> brokers = {
+      {BrokerId{0}, 50.0, {20e-6, 0.5e-6}},
+      {BrokerId{1}, 500.0, {20e-6, 0.5e-6}},
+  };
+  Rng rng(1);
+  const Allocation a = fbf_allocate(brokers, {unit(1, 0, 10, table)}, table, rng);
+  ASSERT_TRUE(a.success);
+  ASSERT_EQ(a.brokers_used(), 1u);
+  EXPECT_EQ(a.brokers[0].broker().id, BrokerId{1});
+}
+
+TEST(BinPacking, SortsByBandwidthRequirement) {
+  const auto table = one_publisher();
+  // One 60 kB/s unit and three 25 kB/s units onto 100 kB/s brokers.
+  std::vector<SubUnit> units = {unit(1, 0, 25, table), unit(2, 25, 50, table),
+                                unit(3, 0, 60, table), unit(4, 50, 75, table)};
+  const Allocation a = bin_packing_allocate(pool(5, 100.0), units, table);
+  ASSERT_TRUE(a.success);
+  // FFD packs 60+25 on broker A, 25+25 on broker B => 2 brokers.
+  EXPECT_EQ(a.brokers_used(), 2u);
+  // The first (largest) unit placed first.
+  EXPECT_EQ(a.brokers[0].units()[0].members[0], SubId{3});
+}
+
+TEST(BinPacking, NeverBeatenByFbfOnBrokerCount) {
+  // Statistical property from the paper: BIN PACKING consistently allocates
+  // no more brokers than FBF.
+  const auto table = one_publisher();
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<SubUnit> units;
+    for (int i = 0; i < 40; ++i) {
+      const auto from = rng.uniform_int(0, 60);
+      units.push_back(unit(static_cast<std::uint64_t>(i), from,
+                           from + rng.uniform_int(5, 40), table));
+    }
+    const Allocation bp = bin_packing_allocate(pool(30, 100.0), units, table);
+    Rng fbf_rng(trial);
+    const Allocation fb = fbf_allocate(pool(30, 100.0), units, table, fbf_rng);
+    ASSERT_TRUE(bp.success);
+    ASSERT_TRUE(fb.success);
+    EXPECT_LE(bp.brokers_used(), fb.brokers_used()) << "trial " << trial;
+  }
+}
+
+TEST(BinPacking, DeterministicAcrossRuns) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (int i = 0; i < 15; ++i) units.push_back(unit(static_cast<std::uint64_t>(i), i, i + 10, table));
+  const Allocation a = bin_packing_allocate(pool(8, 100.0), units, table);
+  const Allocation b = bin_packing_allocate(pool(8, 100.0), units, table);
+  ASSERT_EQ(a.brokers_used(), b.brokers_used());
+  for (std::size_t i = 0; i < a.brokers.size(); ++i) {
+    EXPECT_EQ(a.brokers[i].broker().id, b.brokers[i].broker().id);
+    EXPECT_EQ(a.brokers[i].units().size(), b.brokers[i].units().size());
+  }
+}
+
+}  // namespace
+}  // namespace greenps

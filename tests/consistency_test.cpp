@@ -1,0 +1,138 @@
+// Cross-implementation consistency properties: the copy-free packing probe
+// must agree with the materializing packer; CRAM must be deterministic;
+// sliding windows must keep aligned set algebra exact.
+#include <gtest/gtest.h>
+
+#include "alloc/bin_packing.hpp"
+#include "alloc/cram.hpp"
+#include "alloc_test_util.hpp"
+#include "panda/panda.hpp"
+#include "scenario/scenario.hpp"
+
+namespace greenps {
+namespace {
+
+using testutil::one_publisher;
+using testutil::pool;
+using testutil::unit;
+
+// The dry-run probe exists purely as an optimization of bin packing; on
+// random inputs it must report exactly the same feasibility and broker
+// count as the materializing version.
+TEST(Consistency, PackProbeAgreesWithFullPacking) {
+  Rng rng(17);
+  const auto table = one_publisher();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<SubUnit> units;
+    const std::size_t n = 5 + rng.index(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto from = rng.uniform_int(0, 70);
+      units.push_back(unit(i, from, from + 1 + rng.uniform_int(0, 29), table));
+    }
+    const std::size_t brokers = 1 + rng.index(20);
+    const Bandwidth bw = 40.0 + rng.uniform_real(0, 120.0);
+    const Allocation full = bin_packing_allocate(pool(brokers, bw), units, table);
+    std::vector<const SubUnit*> ptrs;
+    for (const auto& u : units) ptrs.push_back(&u);
+    const PackProbe probe = bin_packing_probe(pool(brokers, bw), ptrs, table);
+    ASSERT_EQ(probe.success, full.success) << "trial " << trial;
+    if (full.success) {
+      EXPECT_EQ(probe.brokers_used, full.brokers_used()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Consistency, CramIsDeterministic) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  for (int g = 0; g < 5; ++g) {
+    for (int i = 0; i < 6; ++i) {
+      units.push_back(unit(id++, g * 15 + i, g * 15 + i + 12, table));
+    }
+  }
+  const CramResult a = cram_allocate(pool(20, 80.0), units, table);
+  const CramResult b = cram_allocate(pool(20, 80.0), units, table);
+  ASSERT_TRUE(a.allocation.success);
+  ASSERT_EQ(a.allocation.brokers_used(), b.allocation.brokers_used());
+  ASSERT_EQ(a.allocation.unit_count(), b.allocation.unit_count());
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.closeness_computations, b.stats.closeness_computations);
+  for (std::size_t i = 0; i < a.allocation.brokers.size(); ++i) {
+    EXPECT_EQ(a.allocation.brokers[i].broker().id, b.allocation.brokers[i].broker().id);
+    EXPECT_EQ(a.allocation.brokers[i].units().size(),
+              b.allocation.brokers[i].units().size());
+  }
+}
+
+// Windows anchored at very different points must still compute exact
+// aligned intersections after both have slid.
+TEST(Consistency, SlidWindowsKeepAlignedAlgebra) {
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    WindowedBitVector a(64), b(64);
+    std::set<MessageSeq> sa, sb;
+    for (int i = 0; i < 80; ++i) {
+      const MessageSeq s = rng.uniform_int(0, 300);
+      if (rng.chance(0.5)) {
+        if (a.record(s)) sa.insert(s);
+      } else {
+        if (b.record(s)) sb.insert(s);
+      }
+    }
+    std::erase_if(sa, [&](MessageSeq s) { return !a.test_seq(s); });
+    std::erase_if(sb, [&](MessageSeq s) { return !b.test_seq(s); });
+    std::size_t expected = 0;
+    for (const MessageSeq s : sa) {
+      if (sb.contains(s)) ++expected;
+    }
+    EXPECT_EQ(WindowedBitVector::intersect_count(a, b), expected) << "trial " << trial;
+    EXPECT_EQ(WindowedBitVector::union_count(a, b), sa.size() + sb.size() - expected);
+  }
+}
+
+TEST(Consistency, HeterogeneousScenarioRoundTripsThroughPanda) {
+  ScenarioConfig c;
+  c.num_brokers = 12;
+  c.num_publishers = 3;
+  c.subs_per_publisher = 8;
+  c.heterogeneous = true;
+  c.seed = 77;
+  const Scenario sc = build_scenario(c);
+  const std::string text = write_panda(sc.deployment);
+  const PandaTopology reparsed = parse_panda(text);
+  EXPECT_EQ(reparsed.deployment.topology.broker_count(),
+            sc.deployment.topology.broker_count());
+  EXPECT_EQ(reparsed.deployment.subscribers.size(), sc.deployment.subscribers.size());
+  // Capacities survive the round trip (by position in the sorted order).
+  for (const BrokerId b : sc.deployment.topology.brokers()) {
+    EXPECT_DOUBLE_EQ(reparsed.deployment.capacities.at(b).out_bw_kb_s,
+                     sc.deployment.capacities.at(b).out_bw_kb_s);
+  }
+}
+
+TEST(Consistency, ClusterProfileEqualsMemberUnion) {
+  // A CRAM result's cluster profiles must equal the OR of their members'
+  // original profiles (Figure 1 semantics end to end).
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  std::unordered_map<std::uint64_t, SubscriptionProfile> originals;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto from = static_cast<MessageSeq>((i % 4) * 20);
+    auto u = unit(i, from, from + 15, table);
+    originals.emplace(i, u.profile);
+    units.push_back(std::move(u));
+  }
+  const CramResult r = cram_allocate(pool(10, 100.0), units, table);
+  ASSERT_TRUE(r.allocation.success);
+  for (const auto& b : r.allocation.brokers) {
+    for (const auto& u : b.units()) {
+      SubscriptionProfile expected;
+      for (const SubId m : u.members) expected.merge(originals.at(m.value()));
+      EXPECT_TRUE(SubscriptionProfile::same_bits(expected, u.profile));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greenps

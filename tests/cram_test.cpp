@@ -1,0 +1,218 @@
+#include "alloc/cram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/bin_packing.hpp"
+#include "alloc_test_util.hpp"
+
+namespace greenps {
+namespace {
+
+using testutil::all_members;
+using testutil::one_publisher;
+using testutil::pool;
+using testutil::range_profile;
+using testutil::unit;
+
+class CramMetricTest : public ::testing::TestWithParam<ClosenessMetric> {};
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, CramMetricTest,
+                         ::testing::Values(ClosenessMetric::kIntersect,
+                                           ClosenessMetric::kXor, ClosenessMetric::kIos,
+                                           ClosenessMetric::kIou),
+                         [](const auto& info) { return metric_name(info.param); });
+
+// Workload: 40 subscriptions in 4 interest groups of 10 identical profiles
+// each; groups pairwise disjoint. One broker fits far more than one group's
+// worth of bandwidth, so heavy clustering is possible.
+std::vector<SubUnit> grouped_units(const PublisherTable& table) {
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      units.push_back(unit(id++, g * 25, g * 25 + 20, table));  // 20 kB/s each
+    }
+  }
+  return units;
+}
+
+TEST_P(CramMetricTest, AllocatesEveryEndpointExactlyOnce) {
+  const auto table = one_publisher();
+  CramOptions opts;
+  opts.metric = GetParam();
+  const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table, opts);
+  ASSERT_TRUE(r.allocation.success);
+  auto members = all_members(r.allocation);
+  EXPECT_EQ(members.size(), 40u);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(std::adjacent_find(members.begin(), members.end()), members.end());
+}
+
+TEST_P(CramMetricTest, NeverWorseThanBinPacking) {
+  const auto table = one_publisher();
+  const auto units = grouped_units(table);
+  const Allocation bp = bin_packing_allocate(pool(40, 100.0), units, table);
+  CramOptions opts;
+  opts.metric = GetParam();
+  const CramResult r = cram_allocate(pool(40, 100.0), units, table, opts);
+  ASSERT_TRUE(bp.success);
+  ASSERT_TRUE(r.allocation.success);
+  EXPECT_LE(r.allocation.brokers_used(), bp.brokers_used());
+}
+
+TEST_P(CramMetricTest, RespectsCapacityConstraints) {
+  const auto table = one_publisher();
+  CramOptions opts;
+  opts.metric = GetParam();
+  const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table, opts);
+  ASSERT_TRUE(r.allocation.success);
+  for (const BrokerLoad& b : r.allocation.brokers) {
+    EXPECT_GT(b.remaining_bw(), 0.0);
+    EXPECT_LE(b.in_rate(), b.broker().delay.max_matching_rate(b.filter_count()) + 1e-9);
+  }
+}
+
+TEST(Cram, ClustersIdenticalSubscriptionsTogether) {
+  // 10 identical 20 kB/s subscriptions, brokers of 100 kB/s: bin packing
+  // needs 3 brokers (4+4+2 by bandwidth); CRAM clusters identical profiles,
+  // and a cluster of k identical subs has input 20 msg/s instead of k*20.
+  // Bandwidth still binds, so CRAM cannot beat 3 brokers, but the total
+  // broker input rate must collapse to ~20/s per broker.
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 10; ++i) units.push_back(unit(i, 0, 20, table));
+  const CramResult r = cram_allocate(pool(10, 100.0), units, table);
+  ASSERT_TRUE(r.allocation.success);
+  for (const BrokerLoad& b : r.allocation.brokers) {
+    EXPECT_NEAR(b.in_rate(), 20.0, 1e-6);
+  }
+  // Everything became a handful of clusters.
+  EXPECT_LT(r.allocation.unit_count(), 10u);
+}
+
+TEST(Cram, ReducesTotalInputRateVersusBinPacking) {
+  // Overlapping interests scattered by bin packing produce redundant
+  // streams; CRAM's clustering must strictly reduce the summed broker input
+  // rate.
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 8; ++i) {
+      // Within a group profiles nest with decreasing width, so FFD's
+      // bandwidth ordering interleaves the groups across brokers (the
+      // scatter CRAM is built to avoid).
+      units.push_back(unit(id++, g * 30, g * 30 + 20 - i, table));
+    }
+  }
+  const Allocation bp = bin_packing_allocate(pool(30, 90.0), units, table);
+  const CramResult cram = cram_allocate(pool(30, 90.0), units, table);
+  ASSERT_TRUE(bp.success);
+  ASSERT_TRUE(cram.allocation.success);
+  EXPECT_LT(cram.allocation.total_in_rate(), bp.total_in_rate());
+}
+
+TEST(Cram, FailsGracefullyWhenInitialAllocationImpossible) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 5; ++i) units.push_back(unit(i, 0, 90, table));
+  const CramResult r = cram_allocate(pool(1, 100.0), units, table);
+  EXPECT_FALSE(r.allocation.success);
+}
+
+TEST(Cram, GifGroupingCollapsesIdenticalProfiles) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 30; ++i) units.push_back(unit(i, 0, 10, table));
+  for (std::uint64_t i = 30; i < 40; ++i) units.push_back(unit(i, 50, 60, table));
+  CramOptions opts;
+  const CramResult r = cram_allocate(pool(20, 200.0), units, table, opts);
+  EXPECT_EQ(r.stats.initial_units, 40u);
+  EXPECT_EQ(r.stats.gif_count, 2u);  // two distinct bit patterns
+  ASSERT_TRUE(r.allocation.success);
+}
+
+TEST(Cram, PruningReducesClosenessComputations) {
+  // Many mutually-disjoint groups: the poset walk prunes empty relations
+  // under IOS but must visit everything under XOR.
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  for (int g = 0; g < 12; ++g) {
+    for (int i = 0; i < 3; ++i) {
+      units.push_back(unit(id++, g * 8, g * 8 + 4 + i, table));
+    }
+  }
+  CramOptions ios;
+  ios.metric = ClosenessMetric::kIos;
+  CramOptions xo;
+  xo.metric = ClosenessMetric::kXor;
+  const CramResult rios = cram_allocate(pool(40, 500.0), units, table, ios);
+  const CramResult rxor = cram_allocate(pool(40, 500.0), units, table, xo);
+  ASSERT_TRUE(rios.allocation.success);
+  ASSERT_TRUE(rxor.allocation.success);
+  EXPECT_LT(rios.stats.closeness_computations, rxor.stats.closeness_computations);
+}
+
+TEST(Cram, OptionTogglesStillProduceValidAllocations) {
+  const auto table = one_publisher();
+  const auto units = grouped_units(table);
+  for (const bool gif : {false, true}) {
+    for (const bool prune : {false, true}) {
+      for (const bool o2m : {false, true}) {
+        CramOptions opts;
+        opts.gif_grouping = gif;
+        opts.poset_pruning = prune;
+        opts.one_to_many = o2m;
+        const CramResult r = cram_allocate(pool(40, 100.0), units, table, opts);
+        ASSERT_TRUE(r.allocation.success)
+            << "gif=" << gif << " prune=" << prune << " o2m=" << o2m;
+        EXPECT_EQ(all_members(r.allocation).size(), 40u);
+      }
+    }
+  }
+}
+
+TEST(Cram, OneToManyTriggersOnNestedProfiles) {
+  // A big profile covering several small disjoint ones, plus an
+  // intersecting sibling — the Figure 3 shape.
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  units.push_back(unit(id++, 0, 36, table));   // S1
+  units.push_back(unit(id++, 28, 44, table));  // S2 (intersects S1)
+  for (int k = 0; k < 3; ++k) {
+    units.push_back(unit(id++, k * 4, k * 4 + 4, table));  // covered by S1
+  }
+  CramOptions opts;
+  opts.metric = ClosenessMetric::kIos;
+  const CramResult r = cram_allocate(pool(10, 200.0), units, table, opts);
+  ASSERT_TRUE(r.allocation.success);
+  EXPECT_GT(r.stats.one_to_many_applied, 0u);
+}
+
+TEST(Cram, StatsAreInternallyConsistent) {
+  const auto table = one_publisher();
+  const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table);
+  ASSERT_TRUE(r.allocation.success);
+  EXPECT_EQ(r.stats.initial_units, 40u);
+  EXPECT_GE(r.stats.allocation_runs, 1u);
+  EXPECT_GE(r.stats.iterations, r.stats.clusterings_applied);
+  EXPECT_EQ(r.stats.final_units, r.allocation.unit_count());
+  EXPECT_LE(r.stats.final_units, r.stats.initial_units);
+  EXPECT_GT(r.stats.total_seconds, 0.0);
+}
+
+TEST(Cram, MaxIterationsBoundsWork) {
+  const auto table = one_publisher();
+  CramOptions opts;
+  opts.max_iterations = 1;
+  const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table, opts);
+  ASSERT_TRUE(r.allocation.success);
+  EXPECT_LE(r.stats.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,38 @@
+#include "matching/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenps {
+namespace {
+
+TEST(DelayModel, LinearInSubscriptions) {
+  const MatchingDelayFunction f{10e-6, 1e-6};
+  EXPECT_DOUBLE_EQ(f.delay_s(0), 10e-6);
+  EXPECT_DOUBLE_EQ(f.delay_s(100), 110e-6);
+}
+
+TEST(DelayModel, MaxMatchingRateIsInverseDelay) {
+  const MatchingDelayFunction f{10e-6, 1e-6};
+  EXPECT_DOUBLE_EQ(f.max_matching_rate(0), 1.0 / 10e-6);
+  EXPECT_DOUBLE_EQ(f.max_matching_rate(90), 1.0 / 100e-6);
+  // More subscriptions => lower ceiling.
+  EXPECT_LT(f.max_matching_rate(1000), f.max_matching_rate(10));
+}
+
+TEST(DelayModel, FitRecoversLine) {
+  const MatchingDelayFunction truth{20e-6, 0.5e-6};
+  const auto fitted = fit_delay_function(100, truth.delay_s(100), 1000, truth.delay_s(1000));
+  EXPECT_NEAR(fitted.base_s, truth.base_s, 1e-12);
+  EXPECT_NEAR(fitted.per_sub_s, truth.per_sub_s, 1e-15);
+}
+
+TEST(DelayModel, FitClampsDegenerateSamples) {
+  // Noisy samples implying negative base/slope are clamped to a valid model.
+  const auto fitted = fit_delay_function(10, 5e-6, 20, 4e-6);
+  EXPECT_GT(fitted.base_s, 0.0);
+  EXPECT_GE(fitted.per_sub_s, 0.0);
+  EXPECT_GT(fitted.max_matching_rate(50), 0.0);
+}
+
+}  // namespace
+}  // namespace greenps

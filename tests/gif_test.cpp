@@ -1,0 +1,79 @@
+#include "alloc/gif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc_test_util.hpp"
+
+namespace greenps {
+namespace {
+
+using testutil::one_publisher;
+using testutil::unit;
+
+TEST(Gif, GroupsIdenticalBitPatterns) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 5; ++i) units.push_back(unit(i, 0, 20, table));
+  for (std::uint64_t i = 5; i < 8; ++i) units.push_back(unit(i, 30, 50, table));
+  const auto gifs = group_identical_filters(std::move(units));
+  ASSERT_EQ(gifs.size(), 2u);
+  // Membership counts preserved.
+  std::size_t total = 0;
+  for (const auto& g : gifs) total += g.units.size();
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(Gif, DifferentPublishersNeverGroup) {
+  const auto table = [] {
+    PublisherTable t;
+    t[AdvId{0}] = PublisherProfile{AdvId{0}, 100.0, 100.0, 100000};
+    t[AdvId{1}] = PublisherProfile{AdvId{1}, 100.0, 100.0, 100000};
+    return t;
+  }();
+  std::vector<SubUnit> units;
+  units.push_back(unit(0, 0, 20, table, AdvId{0}));
+  units.push_back(unit(1, 0, 20, table, AdvId{1}));  // same bits, other adv
+  const auto gifs = group_identical_filters(std::move(units));
+  EXPECT_EQ(gifs.size(), 2u);
+}
+
+TEST(Gif, UnitsSortedByBandwidthAscending) {
+  const auto table = one_publisher();
+  // Identical profiles but different endpoint counts => different out_bw.
+  const SubUnit single = unit(0, 0, 20, table);
+  const SubUnit heavy = cluster_units(unit(1, 0, 20, table), unit(2, 0, 20, table), table);
+  std::vector<SubUnit> units = {heavy, single};
+  const auto gifs = group_identical_filters(std::move(units));
+  ASSERT_EQ(gifs.size(), 1u);
+  ASSERT_EQ(gifs[0].units.size(), 2u);
+  EXPECT_LE(gifs[0].units[0].out_bw, gifs[0].units[1].out_bw);
+  EXPECT_EQ(gifs[0].lightest().members.size(), 1u);
+  EXPECT_NEAR(gifs[0].total_out_bw(), 60.0, 1e-9);
+}
+
+TEST(Gif, EmptyProfilesGroupTogether) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    units.push_back(make_subscription_unit(SubId{i}, SubscriptionProfile(100), table));
+  }
+  const auto gifs = group_identical_filters(std::move(units));
+  EXPECT_EQ(gifs.size(), 1u);  // all empty => identical bit sets
+  EXPECT_EQ(gifs[0].units.size(), 3u);
+}
+
+TEST(Gif, SingletonGifsKeepEveryUnitApart) {
+  const auto table = one_publisher();
+  std::vector<SubUnit> units;
+  for (std::uint64_t i = 0; i < 4; ++i) units.push_back(unit(i, 0, 20, table));
+  const auto gifs = singleton_gifs(std::move(units));
+  EXPECT_EQ(gifs.size(), 4u);
+}
+
+TEST(Gif, NoUnits) {
+  EXPECT_TRUE(group_identical_filters({}).empty());
+  EXPECT_TRUE(singleton_gifs({}).empty());
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,152 @@
+#include "grape/grape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenps {
+namespace {
+
+constexpr AdvId kAdv{0};
+
+PublisherTable table_with_rate(MsgRate rate) {
+  // last_seq far past every window: a 100-bit window is always fully
+  // observed, so fraction = set_bits / 100.
+  PublisherTable t;
+  t[kAdv] = PublisherProfile{kAdv, rate, rate, 100000};
+  return t;
+}
+
+SubscriptionProfile sinking(MessageSeq from, MessageSeq to) {
+  SubscriptionProfile p(100);
+  for (MessageSeq s = from; s < to; ++s) p.record(kAdv, s);
+  return p;
+}
+
+// Chain 0-1-2-3-4.
+Topology chain(std::size_t n) {
+  Topology t;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.add_broker(BrokerId{i});
+    if (i > 0) t.add_link(BrokerId{i - 1}, BrokerId{i});
+  }
+  return t;
+}
+
+TEST(Grape, MovesPublisherTowardItsSubscribers) {
+  const auto table = table_with_rate(100.0);
+  const Topology t = chain(5);
+  // All sinks at broker 4.
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  profiles.emplace(BrokerId{4}, sinking(0, 100));
+  const std::vector<GrapePublisher> pubs = {{ClientId{1}, kAdv}};
+  for (const GrapeMode mode : {GrapeMode::kMinimizeLoad, GrapeMode::kMinimizeDelay}) {
+    const GrapePlacement placed = grape_place_publishers(t, pubs, profiles, table, mode);
+    EXPECT_EQ(placed.broker_for.at(ClientId{1}), BrokerId{4});
+    EXPECT_DOUBLE_EQ(placed.cost.at(ClientId{1}), 0.0);
+  }
+}
+
+TEST(Grape, BalancesBetweenTwoSinkGroups) {
+  const auto table = table_with_rate(100.0);
+  const Topology t = chain(5);
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  profiles.emplace(BrokerId{0}, sinking(0, 100));  // sinks everything
+  profiles.emplace(BrokerId{4}, sinking(0, 100));  // sinks everything
+  const std::vector<GrapePublisher> pubs = {{ClientId{1}, kAdv}};
+  // Any placement on the chain costs the same total load (the full stream
+  // crosses all 4 links); delay mode also ties. Check cost correctness at
+  // the middle: 2 hops each way, 100 msg/s -> 400 weighted hops.
+  const double mid_delay = grape_cost(t, BrokerId{2}, kAdv, profiles, table,
+                                      GrapeMode::kMinimizeDelay);
+  EXPECT_NEAR(mid_delay, 100.0 * 2 + 100.0 * 2, 1e-6);
+  const double end_delay = grape_cost(t, BrokerId{0}, kAdv, profiles, table,
+                                      GrapeMode::kMinimizeDelay);
+  EXPECT_NEAR(end_delay, 100.0 * 4, 1e-6);
+}
+
+TEST(Grape, LoadModeCountsLinkStreamsOnce) {
+  const auto table = table_with_rate(100.0);
+  // Star: center 0, leaves 1..3 each sinking the full stream.
+  Topology t;
+  for (std::uint64_t i = 1; i <= 3; ++i) t.add_link(BrokerId{0}, BrokerId{i});
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  for (std::uint64_t i = 1; i <= 3; ++i) profiles.emplace(BrokerId{i}, sinking(0, 100));
+  // At the center: 3 links each carrying 100 msg/s -> 300.
+  EXPECT_NEAR(grape_cost(t, BrokerId{0}, kAdv, profiles, table, GrapeMode::kMinimizeLoad),
+              300.0, 1e-6);
+  // At a leaf: its own link carries nothing new (local), the other two
+  // leaves' streams cross 2 links... center-leaf1 link carries union to
+  // subtree {center,leaf2,leaf3}? Rooted at leaf1: edge leaf1-center carries
+  // the union for {center,leaf2,leaf3} = 100; edges center-leaf2 and
+  // center-leaf3 carry 100 each -> 300 total.
+  EXPECT_NEAR(grape_cost(t, BrokerId{1}, kAdv, profiles, table, GrapeMode::kMinimizeLoad),
+              300.0, 1e-6);
+}
+
+TEST(Grape, LoadModePrefersDenseSubtree) {
+  const auto table = table_with_rate(100.0);
+  const Topology t = chain(3);
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  profiles.emplace(BrokerId{0}, sinking(0, 10));   // sinks 10%
+  profiles.emplace(BrokerId{2}, sinking(0, 100));  // sinks 100%
+  const std::vector<GrapePublisher> pubs = {{ClientId{7}, kAdv}};
+  const GrapePlacement placed =
+      grape_place_publishers(t, pubs, profiles, table, GrapeMode::kMinimizeLoad);
+  // Placing at 2: stream to 0 costs 10+10 (two links at 10 msg/s); placing
+  // at 0: 100+100. Broker 2 wins.
+  EXPECT_EQ(placed.broker_for.at(ClientId{7}), BrokerId{2});
+}
+
+TEST(Grape, DisjointSinksSplitByFraction) {
+  const auto table = table_with_rate(100.0);
+  const Topology t = chain(3);
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  profiles.emplace(BrokerId{0}, sinking(0, 50));    // half the stream
+  profiles.emplace(BrokerId{2}, sinking(50, 100));  // the other half
+  // At the middle: each link carries its half: 50+50 = 100.
+  EXPECT_NEAR(grape_cost(t, BrokerId{1}, kAdv, profiles, table, GrapeMode::kMinimizeLoad),
+              100.0, 1e-6);
+  // At broker 0: link 0-1 carries the union of {1,2}'s needs (50), link 1-2
+  // carries 50 -> 100. Same; but delay differs.
+  EXPECT_NEAR(grape_cost(t, BrokerId{0}, kAdv, profiles, table, GrapeMode::kMinimizeDelay),
+              50.0 * 0 + 50.0 * 2, 1e-6);
+  EXPECT_NEAR(grape_cost(t, BrokerId{1}, kAdv, profiles, table, GrapeMode::kMinimizeDelay),
+              50.0 * 1 + 50.0 * 1, 1e-6);
+}
+
+TEST(Grape, UnknownPublisherCostsNothing) {
+  const Topology t = chain(2);
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  const PublisherTable empty;
+  EXPECT_DOUBLE_EQ(
+      grape_cost(t, BrokerId{0}, AdvId{42}, profiles, empty, GrapeMode::kMinimizeLoad), 0.0);
+}
+
+TEST(Grape, PlacesEveryPublisher) {
+  const auto table = [] {
+    PublisherTable t;
+    t[AdvId{0}] = PublisherProfile{AdvId{0}, 10.0, 10.0, 100000};
+    t[AdvId{1}] = PublisherProfile{AdvId{1}, 10.0, 10.0, 100000};
+    return t;
+  }();
+  const Topology t = chain(4);
+  std::unordered_map<BrokerId, SubscriptionProfile> profiles;
+  {
+    SubscriptionProfile p(64);
+    for (MessageSeq s = 0; s < 50; ++s) p.record(AdvId{0}, s);
+    profiles.emplace(BrokerId{0}, std::move(p));
+  }
+  {
+    SubscriptionProfile p(64);
+    for (MessageSeq s = 0; s < 50; ++s) p.record(AdvId{1}, s);
+    profiles.emplace(BrokerId{3}, std::move(p));
+  }
+  const std::vector<GrapePublisher> pubs = {{ClientId{0}, AdvId{0}}, {ClientId{1}, AdvId{1}}};
+  const GrapePlacement placed =
+      grape_place_publishers(t, pubs, profiles, table, GrapeMode::kMinimizeDelay);
+  EXPECT_EQ(placed.broker_for.size(), 2u);
+  EXPECT_EQ(placed.broker_for.at(ClientId{0}), BrokerId{0});
+  EXPECT_EQ(placed.broker_for.at(ClientId{1}), BrokerId{3});
+}
+
+}  // namespace
+}  // namespace greenps

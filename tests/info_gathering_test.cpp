@@ -1,0 +1,95 @@
+#include "croc/info_gathering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "overlay/topology_builder.hpp"
+
+namespace greenps {
+namespace {
+
+BrokerInfo fake_info(BrokerId b) {
+  BrokerInfo info;
+  info.id = b;
+  info.total_out_bw = 100.0 + static_cast<double>(b.value());
+  // One local subscription and publisher per broker, tagged by id.
+  LocalSubscriptionInfo s;
+  s.id = SubId{b.value()};
+  s.client = ClientId{b.value()};
+  s.profile = SubscriptionProfile(64);
+  info.subscriptions.push_back(std::move(s));
+  LocalPublisherInfo p;
+  p.client = ClientId{1000 + b.value()};
+  p.profile = PublisherProfile{AdvId{b.value()}, 1.0, 2.0, 10};
+  info.publishers.push_back(std::move(p));
+  return info;
+}
+
+std::vector<BrokerId> ids(std::size_t n) {
+  std::vector<BrokerId> v;
+  for (std::size_t i = 0; i < n; ++i) v.emplace_back(i);
+  return v;
+}
+
+TEST(InfoGathering, CollectsEveryBrokerOnce) {
+  const Topology t = build_manual_tree(ids(15), 2);
+  const GatheredInfo info = gather_information(t, BrokerId{7}, fake_info);
+  EXPECT_EQ(info.brokers.size(), 15u);
+  std::set<BrokerId> seen;
+  for (const auto& b : info.brokers) seen.insert(b.id);
+  EXPECT_EQ(seen.size(), 15u);
+  EXPECT_EQ(info.stats.brokers_answered, 15u);
+}
+
+TEST(InfoGathering, MessageCountsMatchProtocol) {
+  // On a tree: one BIR per link plus CROC's, one aggregated BIA per link
+  // plus the final reply to CROC.
+  const Topology t = build_manual_tree(ids(9), 2);
+  const GatheredInfo info = gather_information(t, BrokerId{0}, fake_info);
+  EXPECT_EQ(info.stats.bir_messages, 8u + 1u);
+  EXPECT_EQ(info.stats.bia_messages, 8u + 1u);
+}
+
+TEST(InfoGathering, SingleBrokerOverlay) {
+  Topology t;
+  t.add_broker(BrokerId{0});
+  const GatheredInfo info = gather_information(t, BrokerId{0}, fake_info);
+  EXPECT_EQ(info.brokers.size(), 1u);
+  EXPECT_EQ(info.stats.bir_messages, 1u);
+  EXPECT_EQ(info.stats.bia_messages, 1u);
+}
+
+TEST(InfoGathering, FlattensSubscriptionsAndPublishers) {
+  const Topology t = build_manual_tree(ids(5), 2);
+  const GatheredInfo info = gather_information(t, BrokerId{2}, fake_info);
+  EXPECT_EQ(info.subscriptions.size(), 5u);
+  EXPECT_EQ(info.publishers.size(), 5u);
+  EXPECT_EQ(info.publisher_table.size(), 5u);
+  // Home brokers recorded correctly.
+  for (const auto& rec : info.subscriptions) {
+    EXPECT_EQ(rec.home.value(), rec.info.id.value());
+  }
+  EXPECT_EQ(info.publisher_table.at(AdvId{3}).bw_kb_s, 2.0);
+}
+
+TEST(InfoGathering, WorksOnRandomTrees) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Topology t = build_random_tree(ids(30), rng);
+    const GatheredInfo info =
+        gather_information(t, BrokerId{static_cast<std::uint64_t>(trial)}, fake_info);
+    EXPECT_EQ(info.brokers.size(), 30u);
+  }
+}
+
+TEST(InfoGathering, ToleratesCycles) {
+  Topology t = build_manual_tree(ids(6), 2);
+  t.add_link(BrokerId{4}, BrokerId{5});  // extra edge forms a cycle
+  const GatheredInfo info = gather_information(t, BrokerId{0}, fake_info);
+  EXPECT_EQ(info.brokers.size(), 6u);  // every broker still answers once
+}
+
+}  // namespace
+}  // namespace greenps

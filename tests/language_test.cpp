@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "language/advertisement.hpp"
+#include "language/publication.hpp"
+#include "language/subscription.hpp"
+
+namespace greenps {
+namespace {
+
+Publication stock_pub() {
+  Publication p(AdvId{1}, 42);
+  p.set_attr("class", Value(std::string("STOCK")));
+  p.set_attr("symbol", Value(std::string("YHOO")));
+  p.set_attr("open", Value(18.37));
+  p.set_attr("high", Value(18.6));
+  p.set_attr("low", Value(18.37));
+  p.set_attr("close", Value(18.37));
+  p.set_attr("volume", Value(std::int64_t{6200}));
+  return p;
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(std::int64_t{5}).equals(Value(5.0)));
+  EXPECT_TRUE(Value(4.5).less_than(Value(std::int64_t{5})));
+  EXPECT_FALSE(Value(std::string("5")).equals(Value(std::int64_t{5})));
+}
+
+TEST(Value, IncomparableKindsNeverOrdered) {
+  EXPECT_FALSE(Value(std::string("a")).less_than(Value(1.0)));
+  EXPECT_FALSE(Value(true).less_than(Value(false)));
+}
+
+TEST(Predicate, EqualityOps) {
+  Predicate p{"symbol", Op::kEq, Value(std::string("YHOO"))};
+  EXPECT_TRUE(p.matches(Value(std::string("YHOO"))));
+  EXPECT_FALSE(p.matches(Value(std::string("GOOG"))));
+}
+
+TEST(Predicate, NumericComparisons) {
+  Predicate gt{"volume", Op::kGt, Value(std::int64_t{1000})};
+  EXPECT_TRUE(gt.matches(Value(std::int64_t{6200})));
+  EXPECT_FALSE(gt.matches(Value(std::int64_t{1000})));
+  Predicate ge{"volume", Op::kGe, Value(std::int64_t{1000})};
+  EXPECT_TRUE(ge.matches(Value(std::int64_t{1000})));
+  Predicate lt{"open", Op::kLt, Value(20.0)};
+  EXPECT_TRUE(lt.matches(Value(18.37)));
+  Predicate le{"open", Op::kLe, Value(18.37)};
+  EXPECT_TRUE(le.matches(Value(18.37)));
+}
+
+TEST(Predicate, Negation) {
+  Predicate neq{"symbol", Op::kNeq, Value(std::string("YHOO"))};
+  EXPECT_FALSE(neq.matches(Value(std::string("YHOO"))));
+  EXPECT_TRUE(neq.matches(Value(std::string("GOOG"))));
+  // Incomparable kinds do not satisfy !=.
+  EXPECT_FALSE(neq.matches(Value(1.0)));
+}
+
+TEST(Predicate, StringOperators) {
+  Predicate pre{"symbol", Op::kPrefix, Value(std::string("YH"))};
+  EXPECT_TRUE(pre.matches(Value(std::string("YHOO"))));
+  EXPECT_FALSE(pre.matches(Value(std::string("GOOG"))));
+  Predicate suf{"symbol", Op::kSuffix, Value(std::string("OO"))};
+  EXPECT_TRUE(suf.matches(Value(std::string("YHOO"))));
+  Predicate con{"symbol", Op::kContains, Value(std::string("HO"))};
+  EXPECT_TRUE(con.matches(Value(std::string("YHOO"))));
+  EXPECT_FALSE(con.matches(Value(std::string("GOOG"))));
+}
+
+TEST(Filter, ConjunctionRequiresAllPredicates) {
+  Filter f;
+  f.add({"class", Op::kEq, Value(std::string("STOCK"))});
+  f.add({"symbol", Op::kEq, Value(std::string("YHOO"))});
+  f.add({"volume", Op::kGt, Value(std::int64_t{1000})});
+  EXPECT_TRUE(f.matches(stock_pub()));
+  f.add({"volume", Op::kGt, Value(std::int64_t{10000})});
+  EXPECT_FALSE(f.matches(stock_pub()));
+}
+
+TEST(Filter, MissingAttributeFailsMatch) {
+  Filter f;
+  f.add({"nonexistent", Op::kGt, Value(1.0)});
+  EXPECT_FALSE(f.matches(stock_pub()));
+}
+
+TEST(Filter, PresentOperator) {
+  Filter f;
+  f.add({"volume", Op::kPresent, Value()});
+  EXPECT_TRUE(f.matches(stock_pub()));
+  Filter g;
+  g.add({"bid", Op::kPresent, Value()});
+  EXPECT_FALSE(g.matches(stock_pub()));
+}
+
+TEST(Publication, AttributesSortedAndReplaceable) {
+  Publication p(AdvId{3}, 1);
+  p.set_attr("b", Value(1.0));
+  p.set_attr("a", Value(2.0));
+  p.set_attr("b", Value(3.0));
+  ASSERT_EQ(p.attrs().size(), 2u);
+  EXPECT_EQ(p.attrs()[0].first, "a");
+  EXPECT_EQ(p.attrs()[1].first, "b");
+  EXPECT_DOUBLE_EQ(p.find("b")->as_double(), 3.0);
+  EXPECT_EQ(p.find("zzz"), nullptr);
+}
+
+TEST(Publication, HeaderCarriesAdvAndSeq) {
+  const Publication p = stock_pub();
+  EXPECT_EQ(p.adv_id(), AdvId{1});
+  EXPECT_EQ(p.seq(), 42);
+}
+
+TEST(Publication, SizeGrowsWithContent) {
+  Publication small(AdvId{1}, 0);
+  small.set_attr("a", Value(1.0));
+  EXPECT_GT(stock_pub().size_kb(), small.size_kb());
+  EXPECT_GT(small.size_kb(), 0.0);
+}
+
+TEST(Advertisement, MatchesOwnPublications) {
+  Filter f;
+  f.add({"class", Op::kEq, Value(std::string("STOCK"))});
+  f.add({"symbol", Op::kEq, Value(std::string("YHOO"))});
+  Advertisement adv(AdvId{1}, f);
+  EXPECT_TRUE(adv.matches(stock_pub()));
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,77 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace greenps {
+namespace {
+
+TEST(DelayHistogram, EmptyReturnsZero) {
+  DelayHistogram h;
+  EXPECT_EQ(h.samples(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.5), 0.0);
+}
+
+TEST(DelayHistogram, SingleSample) {
+  DelayHistogram h;
+  h.record(seconds(0.010));  // 10 ms
+  EXPECT_EQ(h.samples(), 1u);
+  EXPECT_NEAR(h.percentile_ms(0.5), 10.0, 2.0);
+  EXPECT_NEAR(h.percentile_ms(0.99), 10.0, 2.0);
+}
+
+TEST(DelayHistogram, PercentilesOrdered) {
+  DelayHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(seconds(0.001 * i));  // 1ms .. 1s
+  EXPECT_LE(h.percentile_ms(0.10), h.percentile_ms(0.50));
+  EXPECT_LE(h.percentile_ms(0.50), h.percentile_ms(0.99));
+}
+
+TEST(DelayHistogram, UniformDistributionAccuracy) {
+  DelayHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    h.record(seconds(rng.uniform_real(0.0, 0.100)));  // 0..100 ms uniform
+  }
+  EXPECT_NEAR(h.percentile_ms(0.50), 50.0, 10.0);
+  EXPECT_NEAR(h.percentile_ms(0.99), 99.0, 15.0);
+}
+
+TEST(DelayHistogram, TinyAndHugeDelaysClampToEdges) {
+  DelayHistogram h;
+  h.record(0);                  // below the first bucket
+  h.record(seconds(10000.0));   // beyond the last bucket
+  EXPECT_EQ(h.samples(), 2u);
+  EXPECT_GT(h.percentile_ms(0.99), h.percentile_ms(0.01));
+}
+
+TEST(DelayHistogram, ResetClears) {
+  DelayHistogram h;
+  h.record(seconds(1.0));
+  h.reset();
+  EXPECT_EQ(h.samples(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.5), 0.0);
+}
+
+TEST(MetricsCollector, TracksPerBrokerTraffic) {
+  MetricsCollector m;
+  m.on_broker_process(BrokerId{1});
+  m.on_broker_process(BrokerId{1});
+  m.on_broker_send(BrokerId{1});
+  m.on_publication();
+  m.on_delivery(BrokerId{1}, 3, seconds(0.005));
+  EXPECT_EQ(m.traffic().at(BrokerId{1}).msgs_in, 2u);
+  EXPECT_EQ(m.traffic().at(BrokerId{1}).msgs_out, 1u);
+  EXPECT_EQ(m.traffic().at(BrokerId{1}).local_deliveries, 1u);
+  EXPECT_EQ(m.publications(), 1u);
+  EXPECT_EQ(m.deliveries(), 1u);
+  EXPECT_DOUBLE_EQ(m.avg_hops(), 3.0);
+  EXPECT_NEAR(m.avg_delay_ms(), 5.0, 1e-9);
+  m.reset();
+  EXPECT_TRUE(m.traffic().empty());
+  EXPECT_EQ(m.deliveries(), 0u);
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,98 @@
+#include "baselines/pairwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc_test_util.hpp"
+
+namespace greenps {
+namespace {
+
+using testutil::all_members;
+using testutil::one_publisher;
+using testutil::pool;
+using testutil::unit;
+
+std::vector<SubUnit> two_interest_groups(const PublisherTable& table) {
+  std::vector<SubUnit> units;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 6; ++i) units.push_back(unit(id++, 0, 20, table));
+  for (int i = 0; i < 6; ++i) units.push_back(unit(id++, 60, 80, table));
+  return units;
+}
+
+TEST(PairwiseCluster, ReachesRequestedClusterCount) {
+  const auto table = one_publisher();
+  const auto clusters = pairwise_cluster(two_interest_groups(table), 2, table);
+  EXPECT_EQ(clusters.size(), 2u);
+  std::size_t endpoints = 0;
+  for (const auto& c : clusters) endpoints += c.members.size();
+  EXPECT_EQ(endpoints, 12u);
+}
+
+TEST(PairwiseCluster, GroupsSimilarInterests) {
+  const auto table = one_publisher();
+  const auto clusters = pairwise_cluster(two_interest_groups(table), 2, table,
+                                         ClosenessMetric::kIos);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Each cluster stays within one interest group: its input rate equals one
+  // group's stream (20 msg/s), not the union (40).
+  for (const auto& c : clusters) {
+    EXPECT_NEAR(c.in_rate, 20.0, 1e-6);
+    EXPECT_EQ(c.members.size(), 6u);
+  }
+}
+
+TEST(PairwiseCluster, XorMayMergeDisjointGroups) {
+  // The XOR pathology (Section IV-C.2): with k=1 everything merges,
+  // including disjoint profiles.
+  const auto table = one_publisher();
+  const auto clusters = pairwise_cluster(two_interest_groups(table), 1, table,
+                                         ClosenessMetric::kXor);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].in_rate, 40.0, 1e-6);
+}
+
+TEST(PairwiseCluster, KLargerThanUnitsIsIdentity) {
+  const auto table = one_publisher();
+  const auto clusters = pairwise_cluster(two_interest_groups(table), 50, table);
+  EXPECT_EQ(clusters.size(), 12u);
+}
+
+TEST(PairwiseK, AssignsAllClustersSomewhere) {
+  const auto table = one_publisher();
+  Rng rng(9);
+  const Allocation a =
+      pairwise_k_allocate(pool(8, 100.0), two_interest_groups(table), 4, table, rng);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(all_members(a).size(), 12u);
+  EXPECT_LE(a.brokers_used(), 4u);
+}
+
+TEST(PairwiseK, IgnoresCapacity) {
+  // Capacity-unaware by design: a tiny broker may be overloaded.
+  const auto table = one_publisher();
+  Rng rng(3);
+  const Allocation a =
+      pairwise_k_allocate(pool(1, 1.0), two_interest_groups(table), 2, table, rng);
+  ASSERT_TRUE(a.success);  // never fails
+  ASSERT_EQ(a.brokers_used(), 1u);
+  EXPECT_GT(a.brokers[0].used_bw(), a.brokers[0].broker().out_bw);
+}
+
+TEST(PairwiseN, OneClusterPerBroker) {
+  const auto table = one_publisher();
+  Rng rng(5);
+  const Allocation a = pairwise_n_allocate(pool(4, 100.0), two_interest_groups(table),
+                                           table, rng);
+  ASSERT_TRUE(a.success);
+  EXPECT_LE(a.brokers_used(), 4u);
+  for (const auto& b : a.brokers) {
+    EXPECT_EQ(b.units().size(), 1u);
+  }
+  EXPECT_EQ(all_members(a).size(), 12u);
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,111 @@
+#include "panda/panda.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenps {
+namespace {
+
+constexpr const char* kSample = R"(
+# three brokers in a chain, one publisher, two subscribers
+broker B0 bw=300 delay-base=20e-6 delay-per-sub=0.5e-6 start=0
+broker B1 bw=150 start=1
+broker B2 bw=75  start=2
+link B0 B1
+link B1 B2
+publisher P0 broker=B0 symbol=YHOO rate=1.1667 start=10
+subscriber C0 broker=B2 start=12 filter=[class,=,'STOCK'],[symbol,=,'YHOO']
+subscriber C1 broker=B1 start=12 filter=[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,18.5]
+)";
+
+TEST(Panda, ParsesSampleTopology) {
+  const PandaTopology topo = parse_panda(kSample);
+  EXPECT_EQ(topo.deployment.topology.broker_count(), 3u);
+  EXPECT_EQ(topo.deployment.topology.link_count(), 2u);
+  EXPECT_TRUE(topo.deployment.topology.is_tree());
+  ASSERT_EQ(topo.deployment.publishers.size(), 1u);
+  ASSERT_EQ(topo.deployment.subscribers.size(), 2u);
+  EXPECT_EQ(topo.deployment.publishers[0].symbol, "YHOO");
+  EXPECT_NEAR(topo.deployment.publishers[0].rate_msg_s, 1.1667, 1e-9);
+  EXPECT_EQ(topo.deployment.subscribers[0].filter.predicates().size(), 2u);
+  EXPECT_EQ(topo.deployment.subscribers[1].filter.predicates().size(), 3u);
+}
+
+TEST(Panda, ParsesCapacities) {
+  const PandaTopology topo = parse_panda(kSample);
+  const auto& caps = topo.deployment.capacities;
+  EXPECT_DOUBLE_EQ(caps.at(BrokerId{0}).out_bw_kb_s, 300.0);
+  EXPECT_DOUBLE_EQ(caps.at(BrokerId{0}).delay.base_s, 20e-6);
+  EXPECT_DOUBLE_EQ(caps.at(BrokerId{0}).delay.per_sub_s, 0.5e-6);
+  EXPECT_DOUBLE_EQ(caps.at(BrokerId{2}).out_bw_kb_s, 75.0);
+}
+
+TEST(Panda, StartTimesAndOrdering) {
+  const PandaTopology topo = parse_panda(kSample);
+  EXPECT_DOUBLE_EQ(topo.start_times.at("P0"), 10.0);
+  EXPECT_DOUBLE_EQ(topo.start_times.at("B2"), 2.0);
+  EXPECT_TRUE(topo.first_ordering_violation().empty());
+}
+
+TEST(Panda, DetectsClientStartingBeforeBrokers) {
+  const PandaTopology topo = parse_panda(
+      "broker B0 start=5\n"
+      "publisher P0 broker=B0 symbol=X start=1\n");
+  EXPECT_EQ(topo.first_ordering_violation(), "P0");
+}
+
+TEST(Panda, RejectsMalformedInput) {
+  EXPECT_THROW(parse_panda("broker\n"), PandaError);
+  EXPECT_THROW(parse_panda("link B0 B1\n"), PandaError);  // unknown brokers
+  EXPECT_THROW(parse_panda("broker B0\nlink B0 B0\n"), PandaError);
+  EXPECT_THROW(parse_panda("broker B0\nbroker B0\n"), PandaError);
+  EXPECT_THROW(parse_panda("broker B0 bw=fast\n"), PandaError);
+  EXPECT_THROW(parse_panda("frobnicate X\n"), PandaError);
+  EXPECT_THROW(parse_panda("broker B0\npublisher P0 broker=B0\n"), PandaError);
+  EXPECT_THROW(parse_panda("broker B0\nsubscriber C0 broker=B0 filter=[bad\n"), PandaError);
+  EXPECT_THROW(parse_panda("broker B0 bw\n"), PandaError);
+}
+
+TEST(Panda, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_panda("broker B0\n\nlink B0 B9\n");
+    FAIL() << "expected PandaError";
+  } catch (const PandaError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Panda, CommentsAndBlankLinesIgnored) {
+  const PandaTopology topo = parse_panda("# only comments\n\n   \nbroker B0 # trailing\n");
+  EXPECT_EQ(topo.deployment.topology.broker_count(), 1u);
+}
+
+TEST(Panda, RoundTripThroughWriter) {
+  const PandaTopology original = parse_panda(kSample);
+  const std::string text = write_panda(original.deployment);
+  const PandaTopology reparsed = parse_panda(text);
+  EXPECT_EQ(reparsed.deployment.topology.broker_count(),
+            original.deployment.topology.broker_count());
+  EXPECT_EQ(reparsed.deployment.topology.link_count(),
+            original.deployment.topology.link_count());
+  ASSERT_EQ(reparsed.deployment.subscribers.size(),
+            original.deployment.subscribers.size());
+  for (std::size_t i = 0; i < reparsed.deployment.subscribers.size(); ++i) {
+    EXPECT_EQ(reparsed.deployment.subscribers[i].filter,
+              original.deployment.subscribers[i].filter);
+  }
+  ASSERT_EQ(reparsed.deployment.publishers.size(), original.deployment.publishers.size());
+  EXPECT_EQ(reparsed.deployment.publishers[0].symbol,
+            original.deployment.publishers[0].symbol);
+}
+
+TEST(Panda, ParsedDeploymentRunsInSimulator) {
+  PandaTopology topo = parse_panda(kSample);
+  Simulation sim(std::move(topo.deployment),
+                 StockQuoteGenerator(StockQuoteGenerator::Config{}, Rng(1)));
+  sim.run(20.0);
+  EXPECT_GT(sim.metrics().publications(), 0u);
+  EXPECT_GT(sim.metrics().deliveries(), 0u);
+}
+
+}  // namespace
+}  // namespace greenps

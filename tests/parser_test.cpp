@@ -1,0 +1,90 @@
+#include "language/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenps {
+namespace {
+
+TEST(Parser, ParsesPaperSubscriptionTemplate) {
+  const Filter f = parse_filter("[class,=,'STOCK'],[symbol,=,'YHOO']");
+  ASSERT_EQ(f.predicates().size(), 2u);
+  EXPECT_EQ(f.predicates()[0].attribute, "class");
+  EXPECT_EQ(f.predicates()[0].op, Op::kEq);
+  EXPECT_EQ(f.predicates()[0].value.as_string(), "STOCK");
+  EXPECT_EQ(f.predicates()[1].attribute, "symbol");
+  EXPECT_EQ(f.predicates()[1].value.as_string(), "YHOO");
+}
+
+TEST(Parser, ParsesInequalitySubscription) {
+  const Filter f = parse_filter("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,18.5]");
+  ASSERT_EQ(f.predicates().size(), 3u);
+  EXPECT_EQ(f.predicates()[2].op, Op::kLt);
+  EXPECT_DOUBLE_EQ(f.predicates()[2].value.as_double(), 18.5);
+}
+
+TEST(Parser, ParsesAllOperators) {
+  const Filter f = parse_filter(
+      "[a,=,1],[b,!=,2],[c,<,3],[d,<=,4],[e,>,5],[f,>=,6],"
+      "[g,str-prefix,'x'],[h,str-suffix,'y'],[i,str-contains,'z'],[j,isPresent,0]");
+  ASSERT_EQ(f.predicates().size(), 10u);
+  EXPECT_EQ(f.predicates()[1].op, Op::kNeq);
+  EXPECT_EQ(f.predicates()[6].op, Op::kPrefix);
+  EXPECT_EQ(f.predicates()[9].op, Op::kPresent);
+}
+
+TEST(Parser, ParsesPaperPublication) {
+  const Publication p = parse_publication(
+      "[class,'STOCK'],[symbol,'YHOO'],[open,18.37],[high,18.6],[low,18.37],"
+      "[close,18.37],[volume,6200],[date,'5-Sep-96'],[openClose%Diff,0.0],"
+      "[highLow%Diff,0.014],[closeEqualsLow,'true'],[closeEqualsHigh,'false']");
+  EXPECT_EQ(p.attrs().size(), 12u);
+  EXPECT_EQ(p.find("class")->as_string(), "STOCK");
+  EXPECT_DOUBLE_EQ(p.find("open")->as_double(), 18.37);
+  EXPECT_EQ(p.find("volume")->as_double(), 6200);
+  EXPECT_EQ(p.find("closeEqualsLow")->as_string(), "true");
+  EXPECT_EQ(p.find("date")->as_string(), "5-Sep-96");
+}
+
+TEST(Parser, ValueKinds) {
+  EXPECT_TRUE(parse_value("42").is_numeric());
+  EXPECT_TRUE(parse_value("4.2").is_numeric());
+  EXPECT_TRUE(parse_value("-3").is_numeric());
+  EXPECT_TRUE(parse_value("1e3").is_numeric());
+  EXPECT_TRUE(parse_value("'abc'").is_string());
+  EXPECT_TRUE(parse_value("true").is_bool());
+  EXPECT_TRUE(parse_value("false").is_bool());
+}
+
+TEST(Parser, QuotedStringsMayContainCommasAndBrackets) {
+  const Publication p = parse_publication("[note,'a,b]c'],[x,1]");
+  EXPECT_EQ(p.find("note")->as_string(), "a,b]c");
+  EXPECT_EQ(p.attrs().size(), 2u);
+}
+
+TEST(Parser, ToleratesWhitespace) {
+  const Filter f = parse_filter("  [ class , = , 'STOCK' ] ,  [volume,>,100]  ");
+  ASSERT_EQ(f.predicates().size(), 2u);
+  EXPECT_EQ(f.predicates()[0].attribute, "class");
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_filter("[class,=]"), ParseError);
+  EXPECT_THROW(parse_filter("[class,??,'X']"), ParseError);
+  EXPECT_THROW(parse_filter("class,=,'X']"), ParseError);
+  EXPECT_THROW(parse_filter("[class,=,'X'"), ParseError);
+  EXPECT_THROW(parse_filter("[class,=,'X'] [a,=,1]"), ParseError);
+  EXPECT_THROW(parse_publication("[a,1,2]"), ParseError);
+  EXPECT_THROW(parse_value("'unterminated"), ParseError);
+  EXPECT_THROW(parse_value("12x"), ParseError);
+  EXPECT_THROW(parse_value(""), ParseError);
+}
+
+TEST(Parser, RoundTripsThroughToString) {
+  const std::string text = "[class,=,'STOCK'],[volume,>,1000]";
+  const Filter f = parse_filter(text);
+  const Filter g = parse_filter(f.to_string());
+  EXPECT_EQ(f, g);
+}
+
+}  // namespace
+}  // namespace greenps

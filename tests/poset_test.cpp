@@ -1,0 +1,192 @@
+#include "poset/poset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace greenps {
+namespace {
+
+constexpr AdvId kAdv{1};
+
+SubscriptionProfile profile_of(std::initializer_list<MessageSeq> seqs) {
+  SubscriptionProfile p(256);
+  for (const MessageSeq s : seqs) p.record(kAdv, s);
+  return p;
+}
+
+SubscriptionProfile range_profile(MessageSeq from, MessageSeq to) {
+  SubscriptionProfile p(256);
+  for (MessageSeq s = from; s < to; ++s) p.record(kAdv, s);
+  return p;
+}
+
+TEST(Poset, InsertUnderRoot) {
+  ProfilePoset poset;
+  const auto r = poset.insert(profile_of({1, 2, 3}), 7);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(poset.size(), 1u);
+  EXPECT_EQ(poset.payload(r.node), 7u);
+  ASSERT_EQ(poset.children(ProfilePoset::kRoot).size(), 1u);
+  EXPECT_EQ(poset.children(ProfilePoset::kRoot)[0], r.node);
+  EXPECT_TRUE(poset.check_invariants());
+}
+
+TEST(Poset, SupersetBecomesParent) {
+  ProfilePoset poset;
+  const auto big = poset.insert(range_profile(0, 10), 1);
+  const auto small = poset.insert(range_profile(2, 5), 2);
+  EXPECT_TRUE(poset.check_invariants());
+  ASSERT_EQ(poset.children(big.node).size(), 1u);
+  EXPECT_EQ(poset.children(big.node)[0], small.node);
+  EXPECT_EQ(poset.parents(small.node)[0], big.node);
+}
+
+TEST(Poset, InsertBetweenParentAndChild) {
+  ProfilePoset poset;
+  const auto big = poset.insert(range_profile(0, 10), 1);
+  const auto small = poset.insert(range_profile(2, 4), 2);
+  const auto mid = poset.insert(range_profile(1, 6), 3);
+  EXPECT_TRUE(poset.check_invariants());
+  // big -> mid -> small; the old big->small edge is cut.
+  EXPECT_EQ(poset.children(big.node), std::vector<ProfilePoset::NodeId>{mid.node});
+  EXPECT_EQ(poset.children(mid.node), std::vector<ProfilePoset::NodeId>{small.node});
+}
+
+TEST(Poset, SiblingsForIntersectingProfiles) {
+  ProfilePoset poset;
+  const auto a = poset.insert(range_profile(0, 6), 1);
+  const auto b = poset.insert(range_profile(4, 10), 2);
+  EXPECT_TRUE(poset.check_invariants());
+  EXPECT_EQ(poset.parents(a.node)[0], ProfilePoset::kRoot);
+  EXPECT_EQ(poset.parents(b.node)[0], ProfilePoset::kRoot);
+  EXPECT_TRUE(poset.children(a.node).empty());
+  EXPECT_TRUE(poset.children(b.node).empty());
+}
+
+TEST(Poset, EqualProfileNotReinserted) {
+  ProfilePoset poset;
+  const auto first = poset.insert(profile_of({5, 6}), 1);
+  const auto second = poset.insert(profile_of({5, 6}), 2);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.node, first.node);
+  EXPECT_EQ(poset.size(), 1u);
+  EXPECT_EQ(poset.payload(first.node), 1u);  // original payload kept
+}
+
+TEST(Poset, RemoveReconnectsChildren) {
+  ProfilePoset poset;
+  const auto big = poset.insert(range_profile(0, 10), 1);
+  const auto mid = poset.insert(range_profile(1, 6), 2);
+  const auto small = poset.insert(range_profile(2, 4), 3);
+  poset.remove(mid.node);
+  EXPECT_EQ(poset.size(), 2u);
+  EXPECT_TRUE(poset.check_invariants());
+  // small must remain reachable under big.
+  const auto desc = poset.descendants(big.node);
+  EXPECT_NE(std::find(desc.begin(), desc.end(), small.node), desc.end());
+}
+
+TEST(Poset, RemoveLeaf) {
+  ProfilePoset poset;
+  const auto a = poset.insert(range_profile(0, 10), 1);
+  const auto b = poset.insert(range_profile(2, 4), 2);
+  poset.remove(b.node);
+  EXPECT_EQ(poset.size(), 1u);
+  EXPECT_TRUE(poset.children(a.node).empty());
+  EXPECT_TRUE(poset.check_invariants());
+}
+
+TEST(Poset, NodeIdsRecycled) {
+  ProfilePoset poset;
+  const auto a = poset.insert(range_profile(0, 4), 1);
+  poset.remove(a.node);
+  const auto b = poset.insert(range_profile(5, 9), 2);
+  EXPECT_EQ(b.node, a.node);  // freed slot reused
+  EXPECT_EQ(poset.size(), 1u);
+}
+
+TEST(Poset, DescendantsAreExactlyCoveredNodes) {
+  ProfilePoset poset;
+  const auto top = poset.insert(range_profile(0, 20), 1);
+  poset.insert(range_profile(0, 5), 2);
+  poset.insert(range_profile(5, 10), 3);
+  poset.insert(range_profile(30, 40), 4);  // unrelated
+  const auto desc = poset.descendants(top.node);
+  EXPECT_EQ(desc.size(), 2u);
+}
+
+TEST(Poset, BfsVisitsEveryLiveNodeOnce) {
+  ProfilePoset poset;
+  for (int i = 0; i < 10; ++i) {
+    poset.insert(range_profile(i, 20 - i), static_cast<std::uint64_t>(i));
+  }
+  std::size_t visits = 0;
+  poset.bfs([&](ProfilePoset::NodeId) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, poset.size());
+}
+
+TEST(Poset, BfsPruneStopsDescent) {
+  ProfilePoset poset;
+  poset.insert(range_profile(0, 20), 1);
+  poset.insert(range_profile(2, 6), 2);  // child of the first
+  std::size_t visits = 0;
+  poset.bfs([&](ProfilePoset::NodeId) {
+    ++visits;
+    return false;  // never descend
+  });
+  EXPECT_EQ(visits, 1u);  // only the root's single child
+}
+
+// Property: random nested/overlapping inserts and removals keep the
+// invariants and containment order.
+TEST(PosetProperty, RandomInsertRemoveKeepsInvariants) {
+  Rng rng(77);
+  ProfilePoset poset;
+  std::vector<ProfilePoset::NodeId> live;
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.chance(0.7)) {
+      const auto a = rng.uniform_int(0, 100);
+      const auto b = a + 1 + rng.uniform_int(0, 60);
+      const auto r = poset.insert(range_profile(a, b),
+                                  static_cast<std::uint64_t>(step));
+      if (r.inserted) live.push_back(r.node);
+    } else {
+      const std::size_t idx = rng.index(live.size());
+      poset.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  EXPECT_TRUE(poset.check_invariants());
+  EXPECT_EQ(poset.size(), live.size());
+  // Order property: every node's profile covers all of its descendants'.
+  for (const auto n : live) {
+    for (const auto d : poset.descendants(n)) {
+      EXPECT_TRUE(SubscriptionProfile::covers(poset.profile(n), poset.profile(d)));
+    }
+  }
+}
+
+// The paper reports inserting 3,200 GIFs into the poset takes ~2 s; the
+// structure must at least handle a few thousand inserts quickly. (Timing is
+// asserted loosely to keep CI stable; the bench measures it properly.)
+TEST(PosetProperty, ThousandsOfInsertsComplete) {
+  Rng rng(5);
+  ProfilePoset poset;
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = rng.uniform_int(0, 2000);
+    const auto b = a + 1 + rng.uniform_int(0, 200);
+    poset.insert(range_profile(a, b), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GT(poset.size(), 1000u);
+  EXPECT_TRUE(poset.check_invariants());
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,149 @@
+#include "matching/relations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "language/parser.hpp"
+#include "workload/stock_quote.hpp"
+
+namespace greenps {
+namespace {
+
+Filter F(const char* text) { return parse_filter(text); }
+
+TEST(Relations, IdenticalFiltersIntersectAndCover) {
+  const Filter a = F("[class,=,'STOCK'],[symbol,=,'YHOO']");
+  EXPECT_TRUE(intersects(a, a));
+  EXPECT_TRUE(covers(a, a));
+}
+
+TEST(Relations, DisjointSymbolsDoNotIntersect) {
+  const Filter a = F("[class,=,'STOCK'],[symbol,=,'YHOO']");
+  const Filter b = F("[class,=,'STOCK'],[symbol,=,'GOOG']");
+  EXPECT_FALSE(intersects(a, b));
+}
+
+TEST(Relations, DisjointNumericRanges) {
+  const Filter a = F("[volume,>,100]");
+  const Filter b = F("[volume,<,50]");
+  EXPECT_FALSE(intersects(a, b));
+  // (100, inf) vs (-inf, 100] still share no point.
+  EXPECT_FALSE(intersects(a, F("[volume,<=,100]")));
+  EXPECT_TRUE(intersects(F("[volume,>=,100]"), F("[volume,<=,100]")));
+}
+
+TEST(Relations, TouchingOpenIntervalsAreDisjoint) {
+  // (100, inf) and (-inf, 100) share no point; with one closed end at 100
+  // they still share none because the other end is open.
+  EXPECT_FALSE(intersects(F("[v,>,100]"), F("[v,<,100]")));
+  EXPECT_FALSE(intersects(F("[v,>,100]"), F("[v,<=,100]")));
+  EXPECT_TRUE(intersects(F("[v,>=,100]"), F("[v,<=,100]")));
+}
+
+TEST(Relations, BroaderFilterCoversNarrower) {
+  const Filter broad = F("[class,=,'STOCK'],[symbol,=,'YHOO']");
+  const Filter narrow = F("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,18.5]");
+  EXPECT_TRUE(covers(broad, narrow));
+  EXPECT_FALSE(covers(narrow, broad));
+  EXPECT_TRUE(intersects(broad, narrow));
+}
+
+TEST(Relations, IntervalContainment) {
+  EXPECT_TRUE(covers(F("[v,>,10]"), F("[v,>,20]")));
+  EXPECT_TRUE(covers(F("[v,>=,10]"), F("[v,>,10]")));
+  EXPECT_FALSE(covers(F("[v,>,10]"), F("[v,>=,10]")));
+  EXPECT_TRUE(covers(F("[v,>,0],[v,<,100]"), F("[v,>=,10],[v,<=,20]")));
+  EXPECT_FALSE(covers(F("[v,>,0],[v,<,100]"), F("[v,>=,10]")));
+}
+
+TEST(Relations, MissingAttributeBlocksCover) {
+  // sub can match publications that lack `low`, which sup would reject.
+  EXPECT_FALSE(covers(F("[low,<,10]"), F("[high,>,5]")));
+}
+
+TEST(Relations, StringOperatorCoverage) {
+  EXPECT_TRUE(covers(F("[s,str-prefix,'YH']"), F("[s,=,'YHOO']")));
+  EXPECT_FALSE(covers(F("[s,str-prefix,'GO']"), F("[s,=,'YHOO']")));
+  EXPECT_TRUE(covers(F("[s,str-suffix,'OO']"), F("[s,=,'YHOO']")));
+  EXPECT_TRUE(covers(F("[s,str-contains,'HO']"), F("[s,=,'YHOO']")));
+  EXPECT_TRUE(covers(F("[s,isPresent,0]"), F("[s,=,'YHOO']")));
+}
+
+TEST(Relations, StringPrefixIntersection) {
+  EXPECT_TRUE(intersects(F("[s,str-prefix,'YH']"), F("[s,str-prefix,'YHO']")));
+  EXPECT_FALSE(intersects(F("[s,str-prefix,'YH']"), F("[s,str-prefix,'GO']")));
+  EXPECT_FALSE(intersects(F("[s,=,'YHOO']"), F("[s,str-prefix,'GO']")));
+}
+
+TEST(Relations, KindMismatchIsDisjoint) {
+  EXPECT_FALSE(intersects(F("[v,=,5]"), F("[v,=,'five']")));
+  EXPECT_FALSE(covers(F("[v,>,1]"), F("[v,=,'five']")));
+}
+
+TEST(Relations, NegationHandling) {
+  EXPECT_TRUE(intersects(F("[s,!=,'YHOO']"), F("[s,str-prefix,'YH']")));
+  EXPECT_FALSE(intersects(F("[s,!=,'YHOO']"), F("[s,=,'YHOO']")));
+  // Cover requires the inner filter to exclude the outer's forbidden value.
+  EXPECT_TRUE(covers(F("[v,!=,5]"), F("[v,>,10]")));
+  EXPECT_FALSE(covers(F("[v,!=,5]"), F("[v,>,0]")));
+  EXPECT_TRUE(covers(F("[s,!=,'X']"), F("[s,=,'Y']")));
+}
+
+TEST(Relations, UnsatisfiableDetection) {
+  EXPECT_TRUE(unsatisfiable(F("[v,>,10],[v,<,5]")));
+  EXPECT_TRUE(unsatisfiable(F("[s,=,'A'],[s,=,'B']")));
+  EXPECT_TRUE(unsatisfiable(F("[v,=,5],[v,=,'five']")));
+  EXPECT_TRUE(unsatisfiable(F("[v,=,5],[v,!=,5]")));
+  EXPECT_FALSE(unsatisfiable(F("[v,>,5],[v,<,10]")));
+}
+
+TEST(Relations, UnsatisfiableNeverIntersects) {
+  EXPECT_FALSE(intersects(F("[v,>,10],[v,<,5]"), F("[v,=,7]")));
+  EXPECT_FALSE(intersects(F("[v,=,7]"), F("[v,>,10],[v,<,5]")));
+}
+
+// Property: on random stock publications, if both filters match a
+// publication then intersects() must be true (no false negatives), and if
+// covers(sup, sub) then every pub matching sub matches sup.
+TEST(RelationsProperty, SoundAgainstSampledPublications) {
+  std::mt19937 seed(123);
+  Rng rng(99);
+  StockQuoteGenerator gen(StockQuoteGenerator::Config{}, rng.fork());
+  std::vector<Filter> filters;
+  const char* symbols[] = {"YHOO", "GOOG"};
+  for (const char* sym : symbols) {
+    filters.push_back(F(("[class,=,'STOCK'],[symbol,=,'" + std::string(sym) + "']").c_str()));
+    filters.push_back(
+        F(("[class,=,'STOCK'],[symbol,=,'" + std::string(sym) + "'],[volume,>,5000]").c_str()));
+    filters.push_back(
+        F(("[class,=,'STOCK'],[symbol,=,'" + std::string(sym) + "'],[low,<,100.0]").c_str()));
+  }
+  std::vector<Publication> pubs;
+  for (int sym = 0; sym < 2; ++sym) {
+    for (int day = 0; day < 40; ++day) {
+      pubs.push_back(gen.next(symbols[sym]));
+    }
+  }
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    for (std::size_t j = 0; j < filters.size(); ++j) {
+      bool joint = false;
+      bool sub_implies_sup = true;
+      for (const auto& p : pubs) {
+        const bool mi = filters[i].matches(p);
+        const bool mj = filters[j].matches(p);
+        joint = joint || (mi && mj);
+        if (mj && !mi) sub_implies_sup = false;
+      }
+      if (joint) {
+        EXPECT_TRUE(intersects(filters[i], filters[j])) << i << "," << j;
+      }
+      if (covers(filters[i], filters[j])) {
+        EXPECT_TRUE(sub_implies_sup) << i << "," << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greenps

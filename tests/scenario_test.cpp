@@ -1,0 +1,127 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace greenps {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig c;
+  c.num_brokers = 16;
+  c.num_publishers = 4;
+  c.subs_per_publisher = 10;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Scenario, HomogeneousCounts) {
+  const Scenario sc = build_scenario(small_config());
+  EXPECT_EQ(sc.deployment.topology.broker_count(), 16u);
+  EXPECT_TRUE(sc.deployment.topology.is_tree());
+  EXPECT_EQ(sc.deployment.publishers.size(), 4u);
+  EXPECT_EQ(sc.deployment.subscribers.size(), 40u);
+  EXPECT_EQ(sc.symbols.size(), 4u);
+  // Homogeneous capacities all equal.
+  std::set<double> caps;
+  for (const auto& [b, cap] : sc.deployment.capacities) caps.insert(cap.out_bw_kb_s);
+  EXPECT_EQ(caps.size(), 1u);
+}
+
+TEST(Scenario, PaperScaleCounts) {
+  ScenarioConfig c;
+  c.num_brokers = 80;
+  c.num_publishers = 40;
+  c.subs_per_publisher = 50;
+  const Scenario sc = build_scenario(c);
+  EXPECT_EQ(sc.deployment.topology.broker_count(), 80u);
+  EXPECT_EQ(sc.deployment.subscribers.size(), 2000u);  // 40 x 50
+  EXPECT_NEAR(sc.deployment.publishers[0].rate_msg_s, 70.0 / 60.0, 1e-9);
+}
+
+TEST(Scenario, HeterogeneousCapacityMix) {
+  ScenarioConfig c;
+  c.num_brokers = 80;
+  c.num_publishers = 4;
+  c.heterogeneous = true;
+  const Scenario sc = build_scenario(c);
+  std::size_t full = 0;
+  std::size_t half = 0;
+  std::size_t quarter = 0;
+  for (const auto& [b, cap] : sc.deployment.capacities) {
+    if (cap.out_bw_kb_s == c.full_out_bw_kb_s) {
+      ++full;
+    } else if (cap.out_bw_kb_s == c.full_out_bw_kb_s * 0.5) {
+      ++half;
+    } else if (cap.out_bw_kb_s == c.full_out_bw_kb_s * 0.25) {
+      ++quarter;
+    }
+  }
+  // The paper's mix: 15 full, 25 half, 40 quarter.
+  EXPECT_EQ(full, 15u);
+  EXPECT_EQ(half, 25u);
+  EXPECT_EQ(quarter, 40u);
+}
+
+TEST(Scenario, HeterogeneousSubscriptionCountsFollowNsOverI) {
+  ScenarioConfig c = small_config();
+  c.heterogeneous = true;
+  c.subs_per_publisher = 12;  // Ns
+  const Scenario sc = build_scenario(c);
+  // Publisher i (1-based) has max(1, 12/i) subscriptions: 12+6+4+3 = 25.
+  EXPECT_EQ(sc.deployment.subscribers.size(), 12u + 6u + 4u + 3u);
+}
+
+TEST(Scenario, ManualPlacesResourcefulBrokersAtTop) {
+  ScenarioConfig c = small_config();
+  c.heterogeneous = true;
+  const Scenario sc = build_scenario(c);
+  // Broker 0 is the root of the fan-out-2 tree and must be full-capacity.
+  EXPECT_EQ(sc.deployment.capacities.at(BrokerId{0}).out_bw_kb_s, c.full_out_bw_kb_s);
+  // The deepest broker is quarter capacity.
+  EXPECT_EQ(sc.deployment.capacities.at(BrokerId{15}).out_bw_kb_s,
+            c.full_out_bw_kb_s * 0.25);
+}
+
+TEST(Scenario, AutomaticBuildsRandomTree) {
+  ScenarioConfig c = small_config();
+  c.placement = InitialPlacement::kAutomatic;
+  const Scenario sc = build_scenario(c);
+  EXPECT_TRUE(sc.deployment.topology.is_tree());
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const Scenario a = build_scenario(small_config());
+  const Scenario b = build_scenario(small_config());
+  ASSERT_EQ(a.deployment.subscribers.size(), b.deployment.subscribers.size());
+  for (std::size_t i = 0; i < a.deployment.subscribers.size(); ++i) {
+    EXPECT_EQ(a.deployment.subscribers[i].home, b.deployment.subscribers[i].home);
+    EXPECT_EQ(a.deployment.subscribers[i].filter, b.deployment.subscribers[i].filter);
+  }
+}
+
+TEST(Scenario, SubscriptionMixIsFortySixty) {
+  ScenarioConfig c;
+  c.num_brokers = 10;
+  c.num_publishers = 10;
+  c.subs_per_publisher = 100;
+  const Scenario sc = build_scenario(c);
+  std::size_t plain = 0;
+  for (const auto& s : sc.deployment.subscribers) {
+    if (s.filter.predicates().size() == 2) ++plain;
+  }
+  const double frac = static_cast<double>(plain) /
+                      static_cast<double>(sc.deployment.subscribers.size());
+  EXPECT_NEAR(frac, 0.4, 0.08);
+}
+
+TEST(Scenario, SimulationRunsEndToEnd) {
+  Simulation sim = make_simulation(small_config());
+  sim.run(5.0);
+  EXPECT_GT(sim.metrics().publications(), 0u);
+  EXPECT_GT(sim.metrics().deliveries(), 0u);
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,249 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "language/parser.hpp"
+#include "sim/event_queue.hpp"
+
+namespace greenps {
+namespace {
+
+// Chain of `n` brokers: 0 - 1 - ... - n-1, one publisher of symbol SYM at
+// broker `pub_home`, subscribers as given.
+struct TestNet {
+  Deployment dep;
+  std::uint64_t next_client = 0;
+  std::uint64_t next_sub = 0;
+
+  explicit TestNet(std::size_t n, Bandwidth out_bw = 1.0e5) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      dep.topology.add_broker(BrokerId{i});
+      if (i > 0) dep.topology.add_link(BrokerId{i - 1}, BrokerId{i});
+      dep.capacities.emplace(BrokerId{i},
+                             BrokerCapacity{out_bw, MatchingDelayFunction{10e-6, 0.5e-6}});
+    }
+  }
+
+  void add_publisher(const std::string& symbol, std::uint64_t home, MsgRate rate = 10.0) {
+    PublisherSpec p;
+    p.client = ClientId{next_client++};
+    p.adv = AdvId{dep.publishers.size()};
+    p.symbol = symbol;
+    p.rate_msg_s = rate;
+    p.home = BrokerId{home};
+    p.adv_filter = parse_filter("[class,=,'STOCK'],[symbol,=,'" + symbol + "']");
+    dep.publishers.push_back(std::move(p));
+  }
+
+  SubId add_subscriber(const std::string& filter, std::uint64_t home) {
+    SubscriberSpec s;
+    s.client = ClientId{next_client++};
+    s.sub = SubId{next_sub++};
+    s.filter = parse_filter(filter);
+    s.home = BrokerId{home};
+    dep.subscribers.push_back(s);
+    return s.sub;
+  }
+
+  Simulation make() {
+    return Simulation(std::move(dep),
+                      StockQuoteGenerator(StockQuoteGenerator::Config{}, Rng(99)));
+  }
+};
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(2); });
+  q.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&] {
+    ++fired;
+    q.schedule(q.now() + 1, [&] { ++fired; });
+  });
+  q.run_until(10);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5, [&] { ++fired; });
+  q.schedule(50, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(10), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(Simulation, DeliversAllMatchingPublications) {
+  TestNet net(3);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[class,=,'STOCK'],[symbol,=,'YHOO']", 2);  // matches everything
+  Simulation sim = net.make();
+  sim.run(10.0);
+  const auto& m = sim.metrics();
+  EXPECT_NEAR(static_cast<double>(m.publications()), 100.0, 2.0);
+  // Every publication reaches the subscriber (a few may be in flight at the
+  // horizon).
+  EXPECT_GE(m.deliveries() + 3, m.publications());
+  EXPECT_LE(m.deliveries(), m.publications());
+}
+
+TEST(Simulation, NoFalsePositiveDeliveries) {
+  TestNet net(3);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[class,=,'STOCK'],[symbol,=,'GOOG']", 2);  // matches nothing
+  Simulation sim = net.make();
+  sim.run(5.0);
+  EXPECT_GT(sim.metrics().publications(), 0u);
+  EXPECT_EQ(sim.metrics().deliveries(), 0u);
+}
+
+TEST(Simulation, SelectiveFilterDeliversFraction) {
+  TestNet net(2);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[class,=,'STOCK'],[symbol,=,'YHOO'],[volume,>,1000000]", 1);
+  Simulation sim = net.make();
+  sim.run(30.0);
+  const auto& m = sim.metrics();
+  // volume is uniform on [1e3, 2e6]: roughly half the quotes match.
+  const double frac = static_cast<double>(m.deliveries()) /
+                      static_cast<double>(m.publications());
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST(Simulation, HopCountMatchesTopologyDistance) {
+  TestNet net(4);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[symbol,=,'YHOO']", 3);  // 4 brokers on the path
+  Simulation sim = net.make();
+  sim.run(5.0);
+  EXPECT_GT(sim.metrics().deliveries(), 0u);
+  EXPECT_DOUBLE_EQ(sim.metrics().avg_hops(), 4.0);
+  EXPECT_GT(sim.metrics().avg_delay_ms(), 0.0);
+}
+
+TEST(Simulation, PureForwarderProcessesButDeliversNothing) {
+  TestNet net(3);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[symbol,=,'YHOO']", 2);
+  Simulation sim = net.make();
+  sim.run(5.0);
+  const auto& traffic = sim.metrics().traffic();
+  const auto mid = traffic.find(BrokerId{1});
+  ASSERT_NE(mid, traffic.end());
+  EXPECT_GT(mid->second.msgs_in, 0u);
+  EXPECT_GT(mid->second.msgs_out, 0u);
+  EXPECT_EQ(mid->second.local_deliveries, 0u);
+  const SimSummary s = sim.summarize();
+  EXPECT_EQ(s.pure_forwarding_brokers, 1u);
+}
+
+TEST(Simulation, PublicationsStopAtUnmatchedBranches) {
+  // Star: pub at center 0; subscriber for YHOO at 1; broker 2 must see no
+  // traffic (filter-based routing, not flooding).
+  TestNet net(1);
+  net.dep.topology.add_link(BrokerId{0}, BrokerId{1});
+  net.dep.topology.add_link(BrokerId{0}, BrokerId{2});
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    net.dep.capacities.emplace(BrokerId{i},
+                               BrokerCapacity{1.0e5, MatchingDelayFunction{10e-6, 0.5e-6}});
+  }
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[symbol,=,'YHOO']", 1);
+  Simulation sim = net.make();
+  sim.run(5.0);
+  EXPECT_FALSE(sim.metrics().traffic().contains(BrokerId{2}));
+}
+
+TEST(Simulation, CbcProfilesFillDuringRun) {
+  TestNet net(2);
+  net.add_publisher("YHOO", 0);
+  const SubId sub = net.add_subscriber("[symbol,=,'YHOO']", 1);
+  Simulation sim = net.make();
+  sim.run(10.0);
+  const BrokerInfo info = sim.broker_info(BrokerId{1});
+  ASSERT_EQ(info.subscriptions.size(), 1u);
+  EXPECT_EQ(info.subscriptions[0].id, sub);
+  EXPECT_GT(info.subscriptions[0].profile.cardinality(), 50u);
+  const BrokerInfo pub_info = sim.broker_info(BrokerId{0});
+  ASSERT_EQ(pub_info.publishers.size(), 1u);
+  EXPECT_NEAR(pub_info.publishers[0].profile.rate_msg_s, 10.0, 1.5);
+}
+
+TEST(Simulation, RedeployKeepsSequenceNumbers) {
+  TestNet net(2);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[symbol,=,'YHOO']", 1);
+  Simulation sim = net.make();
+  sim.run(5.0);
+  const auto pubs_before = sim.metrics().publications();
+  EXPECT_GT(pubs_before, 0u);
+
+  // Rebuild the same deployment with swapped homes.
+  Deployment next = sim.deployment();
+  next.publishers[0].home = BrokerId{1};
+  next.subscribers[0].home = BrokerId{0};
+  sim.redeploy(std::move(next));
+  EXPECT_EQ(sim.metrics().publications(), 0u);  // metrics reset
+  sim.run(5.0);
+  EXPECT_GT(sim.metrics().deliveries(), 0u);
+  // Sequence numbers continued: the subscriber's new profile window anchors
+  // past the pre-reconfiguration sequence range.
+  const BrokerInfo info = sim.broker_info(BrokerId{0});
+  ASSERT_EQ(info.subscriptions.size(), 1u);
+  const auto* v = info.subscriptions[0].profile.vector_for(AdvId{0});
+  ASSERT_NE(v, nullptr);
+  EXPECT_GE(v->first_id(), static_cast<MessageSeq>(pubs_before) - 1);
+}
+
+TEST(Simulation, SummaryRatesAreConsistent) {
+  TestNet net(3);
+  net.add_publisher("YHOO", 0);
+  net.add_subscriber("[symbol,=,'YHOO']", 2);
+  Simulation sim = net.make();
+  sim.run(10.0);
+  const SimSummary s = sim.summarize();
+  EXPECT_EQ(s.allocated_brokers, 3u);
+  EXPECT_GT(s.system_msg_rate, 0.0);
+  EXPECT_NEAR(s.avg_broker_msg_rate * 3.0, s.system_msg_rate, 1e-9);
+  EXPECT_GT(s.avg_output_utilization, 0.0);
+  EXPECT_LT(s.avg_output_utilization, 1.0);
+}
+
+TEST(Simulation, BandwidthThrottlingIncreasesDelay) {
+  TestNet fast(2, /*out_bw=*/1.0e5);
+  fast.add_publisher("YHOO", 0, 50.0);
+  for (int i = 0; i < 20; ++i) fast.add_subscriber("[symbol,=,'YHOO']", 1);
+  Simulation fast_sim = fast.make();
+  fast_sim.run(10.0);
+
+  TestNet slow(2, /*out_bw=*/18.0);  // barely above offered load
+  slow.add_publisher("YHOO", 0, 50.0);
+  for (int i = 0; i < 20; ++i) slow.add_subscriber("[symbol,=,'YHOO']", 1);
+  Simulation slow_sim = slow.make();
+  slow_sim.run(10.0);
+
+  EXPECT_GT(slow_sim.metrics().avg_delay_ms(), fast_sim.metrics().avg_delay_ms());
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,71 @@
+#include "profile/sub_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenps {
+namespace {
+
+constexpr AdvId kAdv{1};
+
+PublisherTable one_publisher(MsgRate rate, Bandwidth bw, MessageSeq last) {
+  PublisherTable t;
+  t[kAdv] = PublisherProfile{kAdv, rate, bw, last};
+  return t;
+}
+
+SubscriptionProfile profile_with_bits(MessageSeq from, MessageSeq to) {
+  SubscriptionProfile p(128);
+  for (MessageSeq s = from; s < to; ++s) p.record(kAdv, s);
+  return p;
+}
+
+TEST(SubUnit, SubscriptionUnitComputesLoads) {
+  const auto table = one_publisher(100.0, 200.0, 99);
+  const auto u = make_subscription_unit(SubId{7}, profile_with_bits(0, 50), table);
+  EXPECT_EQ(u.members, std::vector<SubId>{SubId{7}});
+  EXPECT_FALSE(u.is_child_broker());
+  EXPECT_EQ(u.endpoint_count(), 1u);
+  EXPECT_NEAR(u.in_rate, 50.0, 1e-9);
+  EXPECT_NEAR(u.out_bw, 100.0, 1e-9);
+  EXPECT_EQ(u.filter_count, 1u);
+}
+
+TEST(SubUnit, ClusterSumsOutputButUnionsInput) {
+  const auto table = one_publisher(100.0, 100.0, 99);
+  // Heavy overlap: both cover bits 0..50, b adds 10 more.
+  const auto a = make_subscription_unit(SubId{1}, profile_with_bits(0, 50), table);
+  const auto b = make_subscription_unit(SubId{2}, profile_with_bits(10, 60), table);
+  const auto c = cluster_units(a, b, table);
+  EXPECT_EQ(c.members.size(), 2u);
+  EXPECT_EQ(c.filter_count, 2u);
+  // Output requirements add.
+  EXPECT_NEAR(c.out_bw, a.out_bw + b.out_bw, 1e-9);
+  // Input rate reflects the union (60 bits of 100), not the sum (100).
+  EXPECT_NEAR(c.in_rate, 60.0, 1e-9);
+  EXPECT_LT(c.in_rate, a.in_rate + b.in_rate);
+}
+
+TEST(SubUnit, ChildBrokerUnitForwardsUnionOnce) {
+  const auto table = one_publisher(100.0, 100.0, 99);
+  const auto u = make_child_broker_unit(BrokerId{3}, profile_with_bits(0, 60), table);
+  EXPECT_TRUE(u.is_child_broker());
+  EXPECT_EQ(u.endpoint_count(), 1u);
+  // Output = the union stream, sent once (not per subscriber).
+  EXPECT_NEAR(u.out_bw, 60.0, 1e-9);
+  EXPECT_NEAR(u.in_rate, 60.0, 1e-9);
+}
+
+TEST(SubUnit, ClusterIsAssociativeOnLoads) {
+  const auto table = one_publisher(10.0, 10.0, 99);
+  const auto a = make_subscription_unit(SubId{1}, profile_with_bits(0, 10), table);
+  const auto b = make_subscription_unit(SubId{2}, profile_with_bits(5, 15), table);
+  const auto c = make_subscription_unit(SubId{3}, profile_with_bits(12, 20), table);
+  const auto ab_c = cluster_units(cluster_units(a, b, table), c, table);
+  const auto a_bc = cluster_units(a, cluster_units(b, c, table), table);
+  EXPECT_NEAR(ab_c.in_rate, a_bc.in_rate, 1e-9);
+  EXPECT_NEAR(ab_c.out_bw, a_bc.out_bw, 1e-9);
+  EXPECT_EQ(ab_c.members.size(), 3u);
+}
+
+}  // namespace
+}  // namespace greenps

@@ -1,0 +1,108 @@
+#include "overlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "overlay/topology_builder.hpp"
+
+namespace greenps {
+namespace {
+
+std::vector<BrokerId> ids(std::size_t n) {
+  std::vector<BrokerId> v;
+  for (std::size_t i = 0; i < n; ++i) v.emplace_back(i);
+  return v;
+}
+
+TEST(Topology, AddRemoveLinks) {
+  Topology t;
+  t.add_link(BrokerId{0}, BrokerId{1});
+  t.add_link(BrokerId{1}, BrokerId{2});
+  EXPECT_TRUE(t.has_link(BrokerId{0}, BrokerId{1}));
+  EXPECT_TRUE(t.has_link(BrokerId{1}, BrokerId{0}));
+  EXPECT_EQ(t.link_count(), 2u);
+  t.add_link(BrokerId{0}, BrokerId{1});  // duplicate ignored
+  EXPECT_EQ(t.link_count(), 2u);
+  t.remove_link(BrokerId{0}, BrokerId{1});
+  EXPECT_FALSE(t.has_link(BrokerId{0}, BrokerId{1}));
+  EXPECT_EQ(t.link_count(), 1u);
+}
+
+TEST(Topology, RemoveBrokerDropsItsLinks) {
+  Topology t;
+  t.add_link(BrokerId{0}, BrokerId{1});
+  t.add_link(BrokerId{1}, BrokerId{2});
+  t.remove_broker(BrokerId{1});
+  EXPECT_FALSE(t.has_broker(BrokerId{1}));
+  EXPECT_EQ(t.link_count(), 0u);
+  EXPECT_TRUE(t.neighbors(BrokerId{0}).empty());
+}
+
+TEST(Topology, TreeDetection) {
+  Topology t;
+  t.add_link(BrokerId{0}, BrokerId{1});
+  t.add_link(BrokerId{0}, BrokerId{2});
+  EXPECT_TRUE(t.is_tree());
+  t.add_link(BrokerId{1}, BrokerId{2});  // cycle
+  EXPECT_FALSE(t.is_tree());
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, DisconnectedIsNotTree) {
+  Topology t;
+  t.add_link(BrokerId{0}, BrokerId{1});
+  t.add_broker(BrokerId{5});
+  EXPECT_FALSE(t.connected());
+  EXPECT_FALSE(t.is_tree());
+}
+
+TEST(Topology, DistancesAndPath) {
+  // 0 - 1 - 2 - 3 chain
+  Topology t;
+  for (std::uint64_t i = 0; i + 1 < 4; ++i) t.add_link(BrokerId{i}, BrokerId{i + 1});
+  const auto dist = t.distances_from(BrokerId{0});
+  EXPECT_EQ(dist.at(BrokerId{3}), 3);
+  const auto path = t.path(BrokerId{0}, BrokerId{3});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ(path->front(), BrokerId{0});
+  EXPECT_EQ(path->back(), BrokerId{3});
+  EXPECT_FALSE(t.path(BrokerId{0}, BrokerId{9}).has_value());
+}
+
+TEST(TopologyBuilder, ManualTreeHasFanout2) {
+  const Topology t = build_manual_tree(ids(7), 2);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.broker_count(), 7u);
+  // Root (broker 0) has exactly 2 children; interior nodes at most 3 links.
+  EXPECT_EQ(t.neighbors(BrokerId{0}).size(), 2u);
+  for (const BrokerId b : t.brokers()) {
+    EXPECT_LE(t.neighbors(b).size(), 3u);
+  }
+  // Balanced: depth of broker 6 is 2.
+  EXPECT_EQ(t.distances_from(BrokerId{0}).at(BrokerId{6}), 2);
+}
+
+TEST(TopologyBuilder, ManualTreeSingleBroker) {
+  const Topology t = build_manual_tree(ids(1), 2);
+  EXPECT_EQ(t.broker_count(), 1u);
+  EXPECT_TRUE(t.is_tree());
+}
+
+TEST(TopologyBuilder, RandomTreeIsTree) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = build_random_tree(ids(40), rng);
+    EXPECT_TRUE(t.is_tree());
+    EXPECT_EQ(t.broker_count(), 40u);
+  }
+}
+
+TEST(TopologyBuilder, StarTopology) {
+  const Topology t = build_star(BrokerId{9}, ids(5));
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.neighbors(BrokerId{9}).size(), 5u);
+}
+
+}  // namespace
+}  // namespace greenps
