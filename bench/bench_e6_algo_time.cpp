@@ -4,6 +4,12 @@
 // FBF < BIN PACKING << CRAM, and CRAM-XOR at least ~75% slower than the
 // prunable metrics (INTERSECT/IOS/IOU) because XOR cannot prune
 // empty-relation subtrees of the poset.
+//
+// Knobs: GREENPS_FULL=1 for paper scale, GREENPS_BENCH_BUDGET_S=<seconds>
+// to cap wall clock (completed rows are kept, the rest are skipped), and
+// GREENPS_CRAM_THREADS to size CRAM's parallel pair search. Results are
+// also written machine-readably to BENCH_cram.json in the working
+// directory.
 #include <chrono>
 #include <cstdio>
 
@@ -25,10 +31,11 @@ double time_of(const std::function<void()>& fn) {
 }  // namespace
 
 int main() {
+  const BenchBudget budget;
   HarnessConfig cfg = homogeneous_base();
   cfg.scenario.subs_per_publisher = full_scale() ? 200 : 100;
-  std::printf("E6: Phase-2 computation time, %zu subscriptions %s\n\n",
-              cfg.scenario.subs_per_publisher * cfg.scenario.num_publishers,
+  const std::size_t total = cfg.scenario.subs_per_publisher * cfg.scenario.num_publishers;
+  std::printf("E6: Phase-2 computation time, %zu subscriptions %s\n\n", total,
               full_scale() ? "[FULL SCALE]" : "[reduced scale]");
 
   // Gather once from a profiled deployment.
@@ -42,30 +49,51 @@ int main() {
   std::printf("gathered: %zu brokers, %zu subscriptions, %zu publishers\n\n",
               info.brokers.size(), units.size(), info.publishers.size());
 
-  const std::vector<int> widths = {12, 12, 10, 10, 16, 14};
-  print_row({"approach", "time(s)", "brokers", "clusters", "closeness-comps", "alloc-runs"},
+  const std::vector<int> widths = {12, 12, 10, 10, 16, 14, 9};
+  print_row({"approach", "time(s)", "brokers", "clusters", "closeness-comps", "alloc-runs",
+             "threads"},
             widths);
+
+  std::vector<std::string> json_rows;
+  bool budget_hit = false;
 
   {
     Rng rng(1);
     Allocation a;
     const double t = time_of([&] { a = fbf_allocate(pool, units, info.publisher_table, rng); });
     print_row({"FBF", fmt(t, 4), std::to_string(a.brokers_used()),
-               std::to_string(a.unit_count()), "-", "-"},
+               std::to_string(a.unit_count()), "-", "-", "-"},
               widths);
+    json_rows.push_back(JsonObject()
+                            .set_string("approach", "FBF")
+                            .set_number("seconds", t)
+                            .set_integer("brokers", a.brokers_used())
+                            .set_integer("clusters", a.unit_count())
+                            .render());
   }
   {
     Allocation a;
     const double t =
         time_of([&] { a = bin_packing_allocate(pool, units, info.publisher_table); });
     print_row({"BINPACKING", fmt(t, 4), std::to_string(a.brokers_used()),
-               std::to_string(a.unit_count()), "-", "-"},
+               std::to_string(a.unit_count()), "-", "-", "-"},
               widths);
+    json_rows.push_back(JsonObject()
+                            .set_string("approach", "BINPACKING")
+                            .set_number("seconds", t)
+                            .set_integer("brokers", a.brokers_used())
+                            .set_integer("clusters", a.unit_count())
+                            .render());
   }
   double prunable_max = 0;
   double xor_time = 0;
   for (const ClosenessMetric m : {ClosenessMetric::kIntersect, ClosenessMetric::kIos,
                                   ClosenessMetric::kIou, ClosenessMetric::kXor}) {
+    const std::string name = std::string("CRAM-") + metric_name(m);
+    if (budget.skip((name + " (and any remaining metrics)").c_str())) {
+      budget_hit = true;
+      break;
+    }
     CramOptions opts;
     opts.metric = m;
     CramResult r;
@@ -76,19 +104,42 @@ int main() {
     } else {
       prunable_max = std::max(prunable_max, t);
     }
-    print_row({std::string("CRAM-") + metric_name(m), fmt(t, 4),
-               std::to_string(r.allocation.brokers_used()),
+    print_row({name, fmt(t, 4), std::to_string(r.allocation.brokers_used()),
                std::to_string(r.allocation.unit_count()),
                std::to_string(r.stats.closeness_computations),
-               std::to_string(r.stats.allocation_runs)},
+               std::to_string(r.stats.allocation_runs),
+               std::to_string(r.stats.threads_used)},
               widths);
+    json_rows.push_back(JsonObject()
+                            .set_string("approach", name)
+                            .set_number("seconds", t)
+                            .set_integer("brokers", r.allocation.brokers_used())
+                            .set_integer("clusters", r.allocation.unit_count())
+                            .set_integer("closeness_computations",
+                                         r.stats.closeness_computations)
+                            .set_integer("allocation_runs", r.stats.allocation_runs)
+                            .set_integer("threads", r.stats.threads_used)
+                            .set_number("poset_build_seconds", r.stats.poset_build_seconds)
+                            .render());
   }
-  if (prunable_max > 0) {
+  if (xor_time > 0 && prunable_max > 0) {
     std::printf(
         "\nCRAM-XOR vs slowest prunable metric: %+.0f%% wall clock, and note the\n"
         "closeness-computation column (the paper's >= +75%% shows when the pair\n"
         "search dominates, i.e. at full scale where candidates grow as S^2).\n",
         (xor_time - prunable_max) / prunable_max * 100.0);
+  }
+
+  JsonObject doc;
+  doc.set_string("bench", "e6_algo_time")
+      .set_bool("full_scale", full_scale())
+      .set_integer("subscriptions", units.size())
+      .set_integer("brokers_in_pool", pool.size())
+      .set_number("budget_seconds", budget.limited() ? budget.budget_seconds() : 0)
+      .set_bool("budget_exceeded", budget_hit)
+      .set_raw("results", json_array(json_rows));
+  if (write_text_file("BENCH_cram.json", doc.render() + "\n")) {
+    std::printf("\nwrote BENCH_cram.json (%zu result rows)\n", json_rows.size());
   }
   return 0;
 }

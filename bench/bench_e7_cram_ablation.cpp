@@ -18,6 +18,7 @@ using namespace greenps;
 using namespace greenps::bench;
 
 int main() {
+  const BenchBudget budget;  // GREENPS_BENCH_BUDGET_S caps the variant grid
   HarnessConfig cfg = homogeneous_base();
   cfg.scenario.subs_per_publisher = full_scale() ? 200 : 100;
   const std::size_t total = cfg.scenario.subs_per_publisher * cfg.scenario.num_publishers;
@@ -54,6 +55,7 @@ int main() {
                           Variant{"no pruning (opt1+3)", false, true},
                           Variant{"no one-to-many (1+2)", true, false},
                           Variant{"pairwise only (opt1)", false, false}}) {
+    if (budget.skip(v.name)) continue;
     CramOptions opts;
     opts.metric = ClosenessMetric::kIos;
     opts.poset_pruning = v.prune;
@@ -67,7 +69,7 @@ int main() {
   }
 
   // --- no GIF grouping at all (opt 2 requires opt 1, so both are off) ---
-  {
+  if (!budget.skip("no-optimizations variant")) {
     CramOptions opts;
     opts.metric = ClosenessMetric::kIos;
     opts.gif_grouping = false;

@@ -10,7 +10,10 @@
 // subscriptions).
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "croc/croc.hpp"
@@ -59,5 +62,48 @@ struct RunResult {
 void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths);
 [[nodiscard]] std::string fmt(double v, int precision = 1);
 [[nodiscard]] std::string pct_change(double baseline, double value);
+
+// Wall-clock budget for a bench binary, read from GREENPS_BENCH_BUDGET_S
+// (seconds; unset or <= 0 means unlimited). The clock starts at construction.
+// Benches check `exceeded()` between rows and degrade gracefully: the rows
+// that completed are printed, the rest are skipped with a "budget exceeded"
+// note, and the process still exits 0 — so a full-scale run under a time cap
+// yields a partial table instead of a killed process.
+class BenchBudget {
+ public:
+  BenchBudget();
+  [[nodiscard]] bool limited() const { return budget_s_ > 0; }
+  [[nodiscard]] double budget_seconds() const { return budget_s_; }
+  [[nodiscard]] double elapsed() const;
+  [[nodiscard]] bool exceeded() const { return limited() && elapsed() >= budget_s_; }
+  // If exceeded, prints the standard skip note (naming what is skipped) once
+  // and returns true.
+  [[nodiscard]] bool skip(const char* what) const;
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  double budget_s_ = 0;
+};
+
+// Minimal JSON assembly for the machine-readable BENCH_*.json result files.
+// Values are stored pre-rendered; use the typed setters for escaping.
+class JsonObject {
+ public:
+  JsonObject& set_raw(std::string key, std::string rendered_value);
+  JsonObject& set_string(std::string key, const std::string& v);
+  JsonObject& set_number(std::string key, double v);
+  JsonObject& set_integer(std::string key, std::size_t v);
+  JsonObject& set_bool(std::string key, bool v);
+  [[nodiscard]] std::string render() const;  // {"k":v,...} in insertion order
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+[[nodiscard]] std::string json_quote(const std::string& s);
+[[nodiscard]] std::string json_array(const std::vector<std::string>& rendered_elems);
+
+// Write `content` to `path` (truncating); returns false and warns on failure.
+bool write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace greenps::bench

@@ -12,18 +12,19 @@ std::uint64_t tiebreak_key(const SubUnit& u) {
 }
 }  // namespace
 
+bool unit_order_less(const SubUnit& a, const SubUnit& b) {
+  if (a.out_bw != b.out_bw) return a.out_bw > b.out_bw;
+  return tiebreak_key(a) < tiebreak_key(b);
+}
+
 void sort_units_by_bandwidth_desc(std::vector<SubUnit>& units) {
-  std::sort(units.begin(), units.end(), [](const SubUnit& a, const SubUnit& b) {
-    if (a.out_bw != b.out_bw) return a.out_bw > b.out_bw;
-    return tiebreak_key(a) < tiebreak_key(b);
-  });
+  std::sort(units.begin(), units.end(),
+            [](const SubUnit& a, const SubUnit& b) { return unit_order_less(a, b); });
 }
 
 void sort_units_by_bandwidth_desc(std::vector<const SubUnit*>& units) {
-  std::sort(units.begin(), units.end(), [](const SubUnit* a, const SubUnit* b) {
-    if (a->out_bw != b->out_bw) return a->out_bw > b->out_bw;
-    return tiebreak_key(*a) < tiebreak_key(*b);
-  });
+  std::sort(units.begin(), units.end(),
+            [](const SubUnit* a, const SubUnit* b) { return unit_order_less(*a, *b); });
 }
 
 PackProbe bin_packing_probe(std::vector<AllocBroker> pool, std::vector<const SubUnit*> units,

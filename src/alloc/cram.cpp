@@ -3,15 +3,39 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "alloc/bin_packing.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "poset/poset.hpp"
 
 namespace greenps {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+GifPairKey make_gif_pair_key(std::uint64_t a, std::uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return GifPairKey{a, b};
+}
+
+std::size_t GifPairKeyHash::operator()(const GifPairKey& k) const {
+  return static_cast<std::size_t>(splitmix64(k.lo) ^ splitmix64(~k.hi));
+}
 
 namespace {
 
@@ -25,15 +49,21 @@ class CramRun {
  public:
   CramRun(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
           const PublisherTable& table, const CramOptions& opts)
-      : pool_(std::move(pool)), table_(table), opts_(opts) {
+      : pool_(std::move(pool)), table_(table), opts_(opts),
+        threads_(ThreadPool::resolve(opts.threads)) {
     sort_by_capacity_desc(pool_);
     stats_.initial_units = units.size();
+    stats_.threads_used = threads_;
     std::vector<Gif> grouped = opts_.gif_grouping ? group_identical_filters(std::move(units))
                                                   : singleton_gifs(std::move(units));
     stats_.gif_count = grouped.size();
     next_id_ = grouped.size();
     for (auto& g : grouped) {
       const std::uint64_t id = g.id;
+      // Warm the cardinality cache now: the parallel pair search reads gif
+      // profiles concurrently and pairwise_counts consults the cache, so it
+      // must be filled before the profile is ever shared across threads.
+      (void)g.profile.cardinality();
       gifs_.emplace(id, std::move(g));
     }
   }
@@ -82,7 +112,7 @@ class CramRun {
 
     CramResult r;
     // The pool state always matches the last successful allocation (failed
-    // clusterings are reverted), so one final packing materializes it.
+    // clusterings are never committed), so one final packing materializes it.
     r.allocation = bin_packing_allocate(pool_, flatten(), table_);
     assert(r.allocation.success);
     r.stats = stats_;
@@ -97,6 +127,18 @@ class CramRun {
     double closeness = 0;
   };
 
+  // Everything one best-partner search produces. Searches are pure reads of
+  // the run state, so the dirty set can be refreshed in parallel; outcomes
+  // are merged after the join in ascending-id order, which makes the result
+  // bit-identical for every thread count.
+  struct SearchOutcome {
+    std::optional<Candidate> best;
+    // (other, closeness) pairs that beat `other`'s cached candidate at
+    // search time — the symmetric-improvement propagation, deferred.
+    std::vector<std::pair<std::uint64_t, double>> improvements;
+    std::size_t closeness_computations = 0;
+  };
+
   // ---- bookkeeping ----
 
   Gif& gif(std::uint64_t id) {
@@ -105,20 +147,11 @@ class CramRun {
     return it->second;
   }
 
-  double close(const SubscriptionProfile& a, const SubscriptionProfile& b) {
-    ++stats_.closeness_computations;
-    return closeness(opts_.metric, a, b);
-  }
-
-  static std::uint64_t pair_key(std::uint64_t a, std::uint64_t b) {
-    if (a > b) std::swap(a, b);
-    return (a << 32) ^ b;
-  }
   [[nodiscard]] bool blacklisted(std::uint64_t a, std::uint64_t b) const {
-    return blacklist_.contains(pair_key(a, b));
+    return blacklist_.contains(make_gif_pair_key(a, b));
   }
   void add_blacklist(std::uint64_t a, std::uint64_t b) {
-    blacklist_.insert(pair_key(a, b));
+    blacklist_.insert(make_gif_pair_key(a, b));
     dirty_.insert(a);
     dirty_.insert(b);
   }
@@ -132,28 +165,89 @@ class CramRun {
     return all;
   }
 
-  // CRAM's allocation test: a copy-free BIN PACKING feasibility probe.
+  // ---- allocation probes ----
+  //
+  // CRAM's allocation test is a copy-free BIN PACKING feasibility probe.
+  // The sorted unit-pointer vector it packs is cached across probes and
+  // invalidated only when a clustering actually commits; tentative
+  // clusterings are probed through an overlay (cached vector minus the
+  // units being merged, plus the merged unit spliced in at its sort
+  // position) without mutating any GIF, which removes the rebuild+re-sort
+  // and the save/restore GIF copies from every rejected or probing step.
+
+  void invalidate_probe_units() { probe_units_valid_ = false; }
+
+  const std::vector<const SubUnit*>& probe_base() {
+    if (!probe_units_valid_) {
+      probe_units_.clear();
+      std::size_t total = 0;
+      for (const auto& [id, g] : gifs_) {
+        (void)id;
+        total += g.units.size();
+      }
+      probe_units_.reserve(total);
+      for (const auto& [id, g] : gifs_) {
+        (void)id;
+        for (const SubUnit& u : g.units) probe_units_.push_back(&u);
+      }
+      sort_units_by_bandwidth_desc(probe_units_);
+      probe_units_valid_ = true;
+    }
+    return probe_units_;
+  }
+
   // Broker minimization is CRAM's primary objective, so a clustering whose
   // re-packed allocation needs MORE brokers than the last recorded scheme
   // also fails (clusters are indivisible and can fragment FFD packing).
-  PackProbe probe_allocation() {
+  PackProbe finish_probe(const std::vector<const SubUnit*>& units) {
     ++stats_.allocation_runs;
-    std::vector<const SubUnit*> units;
-    for (const auto& [id, g] : gifs_) {
-      (void)id;
-      for (const SubUnit& u : g.units) units.push_back(&u);
-    }
-    PackProbe probe = bin_packing_probe(pool_, std::move(units), table_);
+    // pool_ was capacity-sorted once in the constructor and never changes.
+    PackProbe probe = first_fit_probe(pool_, units, table_);
     if (probe.success && best_brokers_ > 0 && probe.brokers_used > best_brokers_) {
       probe.success = false;
     }
     return probe;
   }
 
+  PackProbe probe_allocation() { return finish_probe(probe_base()); }
+
+  // Units in [first, last) are excluded from an overlay probe. The excluded
+  // units of every clustering are contiguous prefixes of GIF unit vectors,
+  // so ranges (not per-unit sets) keep the skip test O(#gifs involved).
+  struct UnitRange {
+    const SubUnit* first = nullptr;
+    const SubUnit* last = nullptr;
+  };
+
+  PackProbe probe_replacement(const std::vector<UnitRange>& removed, const SubUnit& added) {
+    const std::vector<const SubUnit*>& base = probe_base();
+    probe_scratch_.clear();
+    probe_scratch_.reserve(base.size() + 1);
+    const SubUnit* add = &added;
+    for (const SubUnit* u : base) {
+      bool skip = false;
+      for (const UnitRange& r : removed) {
+        if (u >= r.first && u < r.last) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) continue;
+      if (add != nullptr && unit_order_less(*add, *u)) {
+        probe_scratch_.push_back(add);
+        add = nullptr;
+      }
+      probe_scratch_.push_back(u);
+    }
+    if (add != nullptr) probe_scratch_.push_back(add);
+    return finish_probe(probe_scratch_);
+  }
+
   // Register a brand-new gif holding `unit` (profile may equal an existing
   // gif's, in which case the unit joins that gif). Returns the gif id the
   // unit ended up in.
   std::uint64_t commit_new_unit(SubUnit unit) {
+    invalidate_probe_units();
     if (opts_.poset_pruning) {
       const std::uint64_t id = next_id_++;
       const auto ins = poset_.insert(unit.profile, id);
@@ -168,6 +262,7 @@ class CramRun {
       Gif g;
       g.id = id;
       g.profile = unit.profile;
+      (void)g.profile.cardinality();  // warm before sharing across threads
       g.units.push_back(std::move(unit));
       gifs_.emplace(id, std::move(g));
       node_of_[id] = ins.node;
@@ -189,6 +284,7 @@ class CramRun {
     Gif g;
     g.id = id;
     g.profile = unit.profile;
+    (void)g.profile.cardinality();  // warm before sharing across threads
     g.units.push_back(std::move(unit));
     gifs_.emplace(id, std::move(g));
     dirty_.insert(id);
@@ -196,6 +292,7 @@ class CramRun {
   }
 
   void remove_gif(std::uint64_t id) {
+    invalidate_probe_units();
     if (opts_.poset_pruning) {
       const auto it = node_of_.find(id);
       if (it != node_of_.end()) {
@@ -215,17 +312,43 @@ class CramRun {
   // ---- candidate search ----
 
   void refresh_dirty() {
+    if (dirty_.empty()) return;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(dirty_.size());
     for (const std::uint64_t id : dirty_) {
-      const auto it = gifs_.find(id);
-      if (it == gifs_.end()) continue;
-      const auto cand = find_best_partner(id);
-      if (cand) {
-        best_[id] = *cand;
-      } else {
-        best_.erase(id);
-      }
+      if (gifs_.contains(id)) ids.push_back(id);
     }
     dirty_.clear();
+    std::sort(ids.begin(), ids.end());
+
+    std::vector<SearchOutcome> outcomes(ids.size());
+    if (threads_ > 1 && ids.size() > 1) {
+      if (!workers_) workers_ = std::make_unique<ThreadPool>(threads_);
+      workers_->parallel_for(ids.size(),
+                             [&](std::size_t i) { outcomes[i] = find_best_partner(ids[i]); });
+    } else {
+      for (std::size_t i = 0; i < ids.size(); ++i) outcomes[i] = find_best_partner(ids[i]);
+    }
+
+    // Post-join merge in ascending-id order: first every search's own
+    // result, then the symmetric improvements (which only ever raise a
+    // cached closeness). Deterministic for any thread count.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      stats_.closeness_computations += outcomes[i].closeness_computations;
+      if (outcomes[i].best) {
+        best_[ids[i]] = *outcomes[i].best;
+      } else {
+        best_.erase(ids[i]);
+      }
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (const auto& [other, c] : outcomes[i].improvements) {
+        const auto it = best_.find(other);
+        if (it != best_.end() && c > it->second.closeness) {
+          it->second = Candidate{ids[i], c};
+        }
+      }
+    }
   }
 
   std::optional<std::pair<std::uint64_t, Candidate>> pick_global_best() const {
@@ -239,22 +362,30 @@ class CramRun {
     return best;
   }
 
-  std::optional<Candidate> find_best_partner(std::uint64_t id) {
-    const Gif& g = gif(id);
-    std::optional<Candidate> best;
+  // Pure read of the run state (gifs_, poset_, blacklist_, best_ are all
+  // snapshots during a refresh) — runs concurrently across dirty GIFs.
+  SearchOutcome find_best_partner(std::uint64_t id) const {
+    const auto git = gifs_.find(id);
+    assert(git != gifs_.end());
+    const Gif& g = git->second;
+    SearchOutcome out;
+    auto close = [&](const SubscriptionProfile& a, const SubscriptionProfile& b) {
+      ++out.closeness_computations;
+      return closeness(opts_.metric, a, b);
+    };
     auto consider = [&](std::uint64_t other, double c) {
       if (c <= 0) return;
       if (blacklisted(id, other)) return;
-      if (!best || c > best->closeness ||
-          (c == best->closeness && other < best->partner)) {
-        best = Candidate{other, c};
+      if (!out.best || c > out.best->closeness ||
+          (c == out.best->closeness && other < out.best->partner)) {
+        out.best = Candidate{other, c};
       }
       // Symmetric improvement propagation: a freshly computed closeness may
-      // beat `other`'s cached candidate.
+      // beat `other`'s cached candidate. Recorded here, applied post-join.
       if (other != id) {
         const auto it = best_.find(other);
-        if (it != best_.end() && c > it->second.closeness && !blacklisted(other, id)) {
-          it->second = Candidate{id, c};
+        if (it != best_.end() && c > it->second.closeness) {
+          out.improvements.emplace_back(other, c);
         }
       }
     };
@@ -267,7 +398,7 @@ class CramRun {
         if (other == id) continue;
         consider(other, close(g.profile, og.profile));
       }
-      return best;
+      return out;
     }
 
     // Poset-guided breadth-first search (optimization 2): prune subtrees
@@ -303,37 +434,36 @@ class CramRun {
         }
       }
     }
-    return best;
+    return out;
   }
 
   // ---- clustering actions ----
 
   // Try clustering within one GIF (equal relation, Section IV-C.1): find by
   // binary search the largest k such that merging the k lightest units
-  // still allocates.
+  // still allocates. Feasibility is probed through overlays; the GIF is
+  // mutated only once, on commit.
   void try_self_cluster(std::uint64_t gid) {
     Gif& g = gif(gid);
     const std::size_t n = g.units.size();
     assert(n >= 2);
-    auto test_k = [&](std::size_t k) -> PackProbe {
-      const Gif saved = g;
+    auto merged_k = [&](std::size_t k) -> SubUnit {
       SubUnit merged = g.units[0];
       for (std::size_t i = 1; i < k; ++i) merged = cluster_units(merged, g.units[i], table_);
-      g.units.erase(g.units.begin(), g.units.begin() + static_cast<std::ptrdiff_t>(k));
-      g.units.push_back(std::move(merged));
-      g.sort_units();
-      const PackProbe probe = probe_allocation();
-      g = saved;
-      return probe;
+      return merged;
     };
-    if (!test_k(2).success) {
+    auto test_k = [&](std::size_t k) -> PackProbe {
+      const SubUnit merged = merged_k(k);
+      return probe_replacement({{g.units.data(), g.units.data() + k}}, merged);
+    };
+    PackProbe winning = test_k(2);  // doubles as the feasibility gate
+    if (!winning.success) {
       ++stats_.clusterings_rejected;
       add_blacklist(gid, gid);
       return;
     }
     std::size_t lo = 2;
     std::size_t hi = n;
-    PackProbe winning = test_k(2);
     while (lo < hi) {
       const std::size_t mid = lo + (hi - lo + 1) / 2;
       const PackProbe probe = test_k(mid);
@@ -345,11 +475,11 @@ class CramRun {
       }
     }
     // Commit k = lo.
-    SubUnit merged = g.units[0];
-    for (std::size_t i = 1; i < lo; ++i) merged = cluster_units(merged, g.units[i], table_);
+    SubUnit merged = merged_k(lo);
     g.units.erase(g.units.begin(), g.units.begin() + static_cast<std::ptrdiff_t>(lo));
     g.units.push_back(std::move(merged));
     g.sort_units();
+    invalidate_probe_units();
     best_brokers_ = winning.brokers_used;
     ++stats_.clusterings_applied;
     dirty_.insert(gid);
@@ -389,28 +519,17 @@ class CramRun {
     Gif& ga = gif(a);
     Gif& gb = gif(b);
     SubUnit merged = cluster_units(ga.units.front(), gb.units.front(), table_);
-    const Gif saved_a = ga;
-    const Gif saved_b = gb;
-    ga.units.erase(ga.units.begin());
-    gb.units.erase(gb.units.begin());
-    // Tentative: park the merged unit in a temporary gif for the test.
-    const std::uint64_t tmp = next_id_++;
-    {
-      Gif t;
-      t.id = tmp;
-      t.profile = merged.profile;
-      t.units.push_back(merged);
-      gifs_.emplace(tmp, std::move(t));
-    }
-    const PackProbe probe = probe_allocation();
-    gifs_.erase(tmp);
+    const PackProbe probe = probe_replacement(
+        {{ga.units.data(), ga.units.data() + 1}, {gb.units.data(), gb.units.data() + 1}},
+        merged);
     if (!probe.success) {
-      ga = saved_a;
-      gb = saved_b;
       ++stats_.clusterings_rejected;
       add_blacklist(a, b);
       return;
     }
+    ga.units.erase(ga.units.begin());
+    gb.units.erase(gb.units.begin());
+    invalidate_probe_units();
     best_brokers_ = probe.brokers_used;
     ++stats_.clusterings_applied;
     if (ga.units.empty()) {
@@ -432,28 +551,26 @@ class CramRun {
     Gif& cover = gif(cover_id);
     Gif& covered = gif(covered_id);
     const std::size_t n = covered.units.size();
-    auto test_m = [&](std::size_t m) -> PackProbe {
-      const Gif saved_cover = cover;
-      const Gif saved_covered = covered;
+    auto merged_m = [&](std::size_t m) -> SubUnit {
       SubUnit merged = cover.units.front();
       for (std::size_t i = 0; i < m; ++i) merged = cluster_units(merged, covered.units[i], table_);
-      cover.units.erase(cover.units.begin());
-      covered.units.erase(covered.units.begin(), covered.units.begin() + static_cast<std::ptrdiff_t>(m));
-      cover.units.push_back(std::move(merged));  // profile unchanged: covered ⊆ cover
-      cover.sort_units();
-      const PackProbe probe = probe_allocation();
-      cover = saved_cover;
-      covered = saved_covered;
-      return probe;
+      return merged;
     };
-    if (!test_m(1).success) {
+    auto test_m = [&](std::size_t m) -> PackProbe {
+      const SubUnit merged = merged_m(m);  // profile unchanged: covered ⊆ cover
+      return probe_replacement(
+          {{cover.units.data(), cover.units.data() + 1},
+           {covered.units.data(), covered.units.data() + m}},
+          merged);
+    };
+    PackProbe winning = test_m(1);  // doubles as the feasibility gate
+    if (!winning.success) {
       ++stats_.clusterings_rejected;
       add_blacklist(cover_id, covered_id);
       return;
     }
     std::size_t lo = 1;
     std::size_t hi = n;
-    PackProbe winning = test_m(1);
     while (lo < hi) {
       const std::size_t mid = lo + (hi - lo + 1) / 2;
       const PackProbe probe = test_m(mid);
@@ -464,12 +581,13 @@ class CramRun {
         hi = mid - 1;
       }
     }
-    SubUnit merged = cover.units.front();
-    for (std::size_t i = 0; i < lo; ++i) merged = cluster_units(merged, covered.units[i], table_);
+    SubUnit merged = merged_m(lo);
     cover.units.erase(cover.units.begin());
-    covered.units.erase(covered.units.begin(), covered.units.begin() + static_cast<std::ptrdiff_t>(lo));
+    covered.units.erase(covered.units.begin(),
+                        covered.units.begin() + static_cast<std::ptrdiff_t>(lo));
     cover.units.push_back(std::move(merged));
     cover.sort_units();
+    invalidate_probe_units();
     best_brokers_ = winning.brokers_used;
     ++stats_.clusterings_applied;
     dirty_.insert(cover_id);
@@ -539,30 +657,39 @@ class CramRun {
       remaining.erase(best_id);
     }
     if (chosen.empty()) return false;
-    if (close(parent.profile, cgs_profile) <= pair_closeness) return false;
+    if (closeness(opts_.metric, parent.profile, cgs_profile) <= pair_closeness) {
+      ++stats_.closeness_computations;
+      return false;
+    }
+    ++stats_.closeness_computations;
 
-    // Tentatively cluster parent.lightest with the lightest unit of every
-    // chosen GIF. The merged profile equals the parent's (all chosen are
-    // covered), so the unit stays in the parent GIF.
-    std::unordered_map<std::uint64_t, Gif> saved;
-    saved.emplace(parent_id, parent);
-    for (const std::uint64_t cid : chosen) saved.emplace(cid, gif(cid));
-
+    // Cluster parent.lightest with the lightest unit of every chosen GIF,
+    // probed through an overlay — no GIF is touched unless the probe
+    // succeeds, so the failure path has nothing to restore. The merged
+    // profile equals the parent's (all chosen are covered), so the unit
+    // stays in the parent GIF.
     SubUnit merged = parent.units.front();
-    parent.units.erase(parent.units.begin());
+    std::vector<UnitRange> removed;
+    removed.reserve(chosen.size() + 1);
+    removed.push_back({parent.units.data(), parent.units.data() + 1});
     for (const std::uint64_t cid : chosen) {
       Gif& cg = gif(cid);
       merged = cluster_units(merged, cg.units.front(), table_);
+      removed.push_back({cg.units.data(), cg.units.data() + 1});
+    }
+
+    const PackProbe probe = probe_replacement(removed, merged);
+    if (!probe.success) {
+      return false;  // fall back to the pairwise merge (no blacklist)
+    }
+    parent.units.erase(parent.units.begin());
+    for (const std::uint64_t cid : chosen) {
+      Gif& cg = gif(cid);
       cg.units.erase(cg.units.begin());
     }
     parent.units.push_back(std::move(merged));
     parent.sort_units();
-
-    const PackProbe probe = probe_allocation();
-    if (!probe.success) {
-      for (auto& [id, g] : saved) gif(id) = g;
-      return false;  // fall back to the pairwise merge (no blacklist)
-    }
+    invalidate_probe_units();
     best_brokers_ = probe.brokers_used;
     ++stats_.clusterings_applied;
     ++stats_.one_to_many_applied;
@@ -585,10 +712,17 @@ class CramRun {
   std::uint64_t next_id_ = 0;
   ProfilePoset poset_;
   std::unordered_map<std::uint64_t, ProfilePoset::NodeId> node_of_;
-  std::unordered_set<std::uint64_t> blacklist_;
+  std::unordered_set<GifPairKey, GifPairKeyHash> blacklist_;
   std::unordered_map<std::uint64_t, Candidate> best_;
   std::unordered_set<std::uint64_t> dirty_;
   std::size_t best_brokers_ = 0;
+  // Allocation-probe cache (see "allocation probes" above).
+  std::vector<const SubUnit*> probe_units_;
+  std::vector<const SubUnit*> probe_scratch_;
+  bool probe_units_valid_ = false;
+  // Pair-search worker pool, created on first parallel refresh.
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> workers_;
 };
 
 }  // namespace
@@ -600,6 +734,10 @@ CramResult cram_allocate(std::vector<AllocBroker> pool, std::vector<SubUnit> uni
   // requires optimization 1 (without grouping, equal profiles would collide
   // on one poset node and shadow each other).
   if (!opts.gif_grouping) opts.poset_pruning = false;
+  if (const char* env = std::getenv("GREENPS_CRAM_THREADS");
+      env != nullptr && *env != '\0') {
+    opts.threads = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
   CramRun run(std::move(pool), std::move(units), table, opts);
   return run.run();
 }

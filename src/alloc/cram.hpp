@@ -13,6 +13,7 @@
 //                          side with its covered GIFs (greedy set cover)
 #pragma once
 
+#include <cstdint>
 #include <limits>
 
 #include "alloc/allocation.hpp"
@@ -27,6 +28,11 @@ struct CramOptions {
   bool poset_pruning = true;  // optimization 2
   bool one_to_many = true;    // optimization 3
   std::size_t max_iterations = std::numeric_limits<std::size_t>::max();
+  // Worker threads for the best-partner search (the caller counts as one):
+  // 0 = hardware_concurrency. Results are bit-identical for every thread
+  // count — the searches read a snapshot and merge deterministically.
+  // The env var GREENPS_CRAM_THREADS, when set, overrides this.
+  std::size_t threads = 0;
 };
 
 struct CramStats {
@@ -39,8 +45,25 @@ struct CramStats {
   std::size_t one_to_many_applied = 0;
   std::size_t iterations = 0;
   std::size_t final_units = 0;              // clusters in the result
+  std::size_t threads_used = 1;             // resolved pair-search thread count
   double poset_build_seconds = 0;
   double total_seconds = 0;
+};
+
+// Unordered pair of GIF ids, used as the clustering-blacklist key. Ids are
+// full 64-bit values and `next_id_` grows past the initial GIF count, so the
+// key must keep both ids intact (a 64-bit `(a << 32) ^ b` fold silently
+// discards high bits and lets distinct pairs collide).
+struct GifPairKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const GifPairKey&, const GifPairKey&) = default;
+};
+
+[[nodiscard]] GifPairKey make_gif_pair_key(std::uint64_t a, std::uint64_t b);
+
+struct GifPairKeyHash {
+  [[nodiscard]] std::size_t operator()(const GifPairKey& k) const;
 };
 
 struct CramResult {

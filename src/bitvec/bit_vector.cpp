@@ -126,6 +126,26 @@ std::size_t BitVector::and_count(const BitVector& a, std::size_t a_off,
   return total;
 }
 
+BitVector::PairCounts BitVector::pair_counts(const BitVector& a, std::size_t a_off,
+                                             const BitVector& b, std::size_t b_off,
+                                             std::size_t len) {
+  PairCounts c;
+  for (std::size_t i = 0; i < len; i += kWordBits) {
+    std::uint64_t wa = a.word_at(a_off + i);
+    std::uint64_t wb = b.word_at(b_off + i);
+    const std::size_t remaining = len - i;
+    if (remaining < kWordBits) {
+      const std::uint64_t mask = (std::uint64_t{1} << remaining) - 1;
+      wa &= mask;
+      wb &= mask;
+    }
+    c.a += static_cast<std::size_t>(std::popcount(wa));
+    c.b += static_cast<std::size_t>(std::popcount(wb));
+    c.both += static_cast<std::size_t>(std::popcount(wa & wb));
+  }
+  return c;
+}
+
 bool BitVector::contains(const BitVector& sup, std::size_t sup_off,
                          const BitVector& sub, std::size_t sub_off,
                          std::size_t len) {

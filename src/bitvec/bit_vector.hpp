@@ -43,6 +43,18 @@ class BitVector {
                                              const BitVector& b, std::size_t b_off,
                                              std::size_t len);
 
+  // Fused kernel: |a|, |b| and |a ∩ b| over the same aligned `len`-bit range
+  // in one word loop (the words are loaded once and popcounted three ways,
+  // instead of two count passes plus an AND pass).
+  struct PairCounts {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    std::size_t both = 0;
+  };
+  [[nodiscard]] static PairCounts pair_counts(const BitVector& a, std::size_t a_off,
+                                              const BitVector& b, std::size_t b_off,
+                                              std::size_t len);
+
   // True iff every set bit of `sub` (over `len` bits from sub_off) is also
   // set in `sup` (from sup_off).
   [[nodiscard]] static bool contains(const BitVector& sup, std::size_t sup_off,

@@ -55,6 +55,26 @@ std::size_t WindowedBitVector::xor_count(const WindowedBitVector& a,
   return a.count() + b.count() - 2 * intersect_count(a, b);
 }
 
+WindowedBitVector::PairCounts WindowedBitVector::pairwise_counts(const WindowedBitVector& a,
+                                                                 const WindowedBitVector& b) {
+  PairCounts c;
+  const MessageSeq lo = std::max(a.first_id_, b.first_id_);
+  const MessageSeq hi = std::min(a.end_id(), b.end_id());
+  if (hi <= lo) {
+    c.a = a.count();
+    c.b = b.count();
+    return c;
+  }
+  const auto a_lo = static_cast<std::size_t>(lo - a.first_id_);
+  const auto b_lo = static_cast<std::size_t>(lo - b.first_id_);
+  const auto len = static_cast<std::size_t>(hi - lo);
+  const BitVector::PairCounts in = BitVector::pair_counts(a.bits_, a_lo, b.bits_, b_lo, len);
+  c.both = in.both;
+  c.a = in.a + a.bits_.count_range(0, a_lo) + a.bits_.count_range(a_lo + len, a.bits_.size());
+  c.b = in.b + b.bits_.count_range(0, b_lo) + b.bits_.count_range(b_lo + len, b.bits_.size());
+  return c;
+}
+
 bool WindowedBitVector::covers(const WindowedBitVector& sup, const WindowedBitVector& sub) {
   // Any set bit of `sub` outside `sup`'s window is by definition not covered.
   const std::size_t sub_total = sub.count();

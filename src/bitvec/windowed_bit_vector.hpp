@@ -54,6 +54,18 @@ class WindowedBitVector {
   [[nodiscard]] static bool covers(const WindowedBitVector& sup,
                                    const WindowedBitVector& sub);
 
+  // Fused kernel: total set bits of a, of b, and of their aligned
+  // intersection, computed in a single pass (the overlap region is walked
+  // once with three popcounts; the non-overlapping remainders once each).
+  // Equivalent to {a.count(), b.count(), intersect_count(a, b)}.
+  struct PairCounts {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    std::size_t both = 0;
+  };
+  [[nodiscard]] static PairCounts pairwise_counts(const WindowedBitVector& a,
+                                                  const WindowedBitVector& b);
+
   // OR `other` into this window (Figure 1 clustering). Bits of `other` older
   // than this window's start are dropped; newer bits slide this window
   // forward first so they fit.

@@ -48,6 +48,45 @@ void SubscriptionProfile::merge(const SubscriptionProfile& other) {
   card_cache_ = kNoCache;
 }
 
+namespace {
+thread_local std::size_t t_pairwise_walks = 0;
+}  // namespace
+
+std::size_t SubscriptionProfile::pairwise_walks() { return t_pairwise_walks; }
+void SubscriptionProfile::reset_pairwise_walks() { t_pairwise_walks = 0; }
+
+SubscriptionProfile::PairwiseCounts SubscriptionProfile::pairwise_counts(
+    const SubscriptionProfile& a, const SubscriptionProfile& b) {
+  ++t_pairwise_walks;
+  // Word loops run only over *common* publishers — a disjoint pair (the bulk
+  // of an unpruned pair search) costs zero popcounts. The per-profile
+  // cardinalities come from the invalidated-on-write cache, and union/xor
+  // follow arithmetically: |a∪b| = |a|+|b|−|a∩b|, |a⊕b| = |a|+|b|−2|a∩b|.
+  std::size_t both = 0;
+  auto ia = a.vectors_.begin();
+  auto ib = b.vectors_.begin();
+  while (ia != a.vectors_.end() && ib != b.vectors_.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      both += WindowedBitVector::intersect_count(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t ca = a.cardinality();
+  const std::size_t cb = b.cardinality();
+  PairwiseCounts out;
+  out.intersect = both;
+  out.union_ = ca + cb - both;
+  out.xor_ = ca + cb - 2 * both;
+  out.card_a = ca;
+  out.card_b = cb;
+  return out;
+}
+
 std::size_t SubscriptionProfile::intersect_count(const SubscriptionProfile& a,
                                                  const SubscriptionProfile& b) {
   std::size_t total = 0;
@@ -70,20 +109,30 @@ std::size_t SubscriptionProfile::xor_count(const SubscriptionProfile& a,
 
 bool SubscriptionProfile::covers(const SubscriptionProfile& sup,
                                  const SubscriptionProfile& sub) {
+  // Aligned walk over the two sorted publisher maps with early exit: `sup`
+  // covers `sub` iff for every publisher, |sup ∩ sub| equals |sub| — one
+  // fused word loop per publisher instead of a count pass plus a subset pass.
+  auto is = sup.vectors_.begin();
   for (const auto& [adv, vb] : sub.vectors_) {
-    if (vb.count() == 0) continue;
-    const auto it = sup.vectors_.find(adv);
-    if (it == sup.vectors_.end()) return false;
-    if (!WindowedBitVector::covers(it->second, vb)) return false;
+    while (is != sup.vectors_.end() && is->first < adv) ++is;
+    if (is == sup.vectors_.end() || is->first != adv) {
+      if (vb.count() != 0) return false;
+      continue;
+    }
+    const auto pc = WindowedBitVector::pairwise_counts(is->second, vb);
+    if (pc.both != pc.b) return false;
   }
   return true;
 }
 
 Relation SubscriptionProfile::relation(const SubscriptionProfile& a,
                                        const SubscriptionProfile& b) {
-  if (intersect_count(a, b) == 0) return Relation::kEmpty;
-  const bool ab = covers(a, b);
-  const bool ba = covers(b, a);
+  // One fused walk decides everything: |a ∩ b| = |b| means a covers b (every
+  // bit of b matched one of a), and symmetrically for |a|.
+  const PairwiseCounts pc = pairwise_counts(a, b);
+  if (pc.intersect == 0) return Relation::kEmpty;
+  const bool ab = pc.intersect == pc.card_b;
+  const bool ba = pc.intersect == pc.card_a;
   if (ab && ba) return Relation::kEqual;
   if (ab) return Relation::kSuperset;
   if (ba) return Relation::kSubset;
@@ -92,7 +141,8 @@ Relation SubscriptionProfile::relation(const SubscriptionProfile& a,
 
 bool SubscriptionProfile::same_bits(const SubscriptionProfile& a,
                                     const SubscriptionProfile& b) {
-  return covers(a, b) && covers(b, a);
+  const PairwiseCounts pc = pairwise_counts(a, b);
+  return pc.intersect == pc.card_a && pc.intersect == pc.card_b;
 }
 
 std::size_t SubscriptionProfile::bit_hash() const {

@@ -46,6 +46,29 @@ class SubscriptionProfile {
                                                const SubscriptionProfile& b);
   [[nodiscard]] static std::size_t xor_count(const SubscriptionProfile& a,
                                              const SubscriptionProfile& b);
+
+  // Fused kernel: every pairwise cardinality in one aligned walk of the two
+  // publisher maps (a single bit-vector word loop per *common* publisher —
+  // disjoint pairs cost no popcounts at all). closeness() and relation() are
+  // routed through this, so each performs exactly one profile walk.
+  // Concurrency: reads (and may fill) the cardinality caches of both
+  // profiles. Callers sharing profiles across threads must warm
+  // cardinality() on them first — CramRun does before its parallel search.
+  struct PairwiseCounts {
+    std::size_t intersect = 0;
+    std::size_t union_ = 0;
+    std::size_t xor_ = 0;
+    std::size_t card_a = 0;  // |a|
+    std::size_t card_b = 0;  // |b|
+  };
+  [[nodiscard]] static PairwiseCounts pairwise_counts(const SubscriptionProfile& a,
+                                                      const SubscriptionProfile& b);
+
+  // Number of pairwise_counts() walks performed by the calling thread.
+  // Test hook for the one-walk-per-closeness invariant; per-thread so the
+  // parallel pair search stays contention-free.
+  [[nodiscard]] static std::size_t pairwise_walks();
+  static void reset_pairwise_walks();
   // Every publication recorded by `sub` was also recorded by `sup`.
   [[nodiscard]] static bool covers(const SubscriptionProfile& sup,
                                    const SubscriptionProfile& sub);

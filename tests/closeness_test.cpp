@@ -97,6 +97,19 @@ TEST(Closeness, PaperOneToManyClaim) {
   EXPECT_GT(c, closeness(ClosenessMetric::kIos, f.s1, f.s2));
 }
 
+// The fused-kernel invariant: every metric costs exactly one pairwise
+// profile walk (the walk counter is the test hook behind the "one word loop
+// instead of 2-3" optimization — kIou used to walk three times).
+TEST(Closeness, EveryMetricPerformsExactlyOneProfileWalk) {
+  const Figure3 f;
+  for (const auto m : {ClosenessMetric::kIntersect, ClosenessMetric::kXor,
+                       ClosenessMetric::kIos, ClosenessMetric::kIou}) {
+    SubscriptionProfile::reset_pairwise_walks();
+    (void)closeness(m, f.s1, f.s2);
+    EXPECT_EQ(SubscriptionProfile::pairwise_walks(), 1u) << metric_name(m);
+  }
+}
+
 // Property: all metrics are symmetric and non-negative.
 TEST(ClosenessProperty, SymmetricNonNegative) {
   Rng rng(5);

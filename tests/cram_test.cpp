@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 #include "alloc/bin_packing.hpp"
 #include "alloc_test_util.hpp"
@@ -203,6 +205,92 @@ TEST(Cram, StatsAreInternallyConsistent) {
   EXPECT_EQ(r.stats.final_units, r.allocation.unit_count());
   EXPECT_LE(r.stats.final_units, r.stats.initial_units);
   EXPECT_GT(r.stats.total_seconds, 0.0);
+}
+
+// Canonical rendering of an allocation: broker id -> sorted clusters, each a
+// sorted member list. Two allocations with equal signatures place every
+// endpoint identically.
+std::string allocation_signature(const Allocation& a) {
+  std::string sig;
+  for (const BrokerLoad& b : a.brokers) {
+    std::vector<std::string> clusters;
+    for (const SubUnit& u : b.units()) {
+      std::vector<std::uint64_t> m;
+      for (const SubId id : u.members) m.push_back(id.value());
+      std::sort(m.begin(), m.end());
+      std::string c;
+      for (const std::uint64_t v : m) c += std::to_string(v) + ",";
+      clusters.push_back(c);
+    }
+    std::sort(clusters.begin(), clusters.end());
+    sig += "B" + std::to_string(b.broker().id.value()) + "{";
+    for (const std::string& c : clusters) sig += c + ";";
+    sig += "}";
+  }
+  return sig;
+}
+
+// Mixed workload exercising every clustering path: identical groups (self
+// cluster), nested profiles (cover + one-to-many) and overlapping siblings
+// (pairwise merge).
+std::vector<SubUnit> mixed_units(const PublisherTable& table) {
+  std::vector<SubUnit> units = grouped_units(table);
+  std::uint64_t id = 100;
+  units.push_back(unit(id++, 0, 36, table));
+  units.push_back(unit(id++, 28, 44, table));
+  for (int k = 0; k < 3; ++k) units.push_back(unit(id++, k * 4, k * 4 + 4, table));
+  return units;
+}
+
+// The tentpole invariant: the threaded pair search is bit-identical to the
+// serial one — same allocation, same stats (timings aside) — because the
+// searches read a snapshot and merge in a fixed order after the join.
+TEST_P(CramMetricTest, ThreadCountDoesNotChangeTheResult) {
+  const auto table = one_publisher();
+  const auto units = mixed_units(table);
+  CramOptions serial;
+  serial.metric = GetParam();
+  serial.threads = 1;
+  CramOptions threaded = serial;
+  threaded.threads = 4;
+  const CramResult rs = cram_allocate(pool(40, 100.0), units, table, serial);
+  const CramResult rt = cram_allocate(pool(40, 100.0), units, table, threaded);
+  ASSERT_TRUE(rs.allocation.success);
+  ASSERT_TRUE(rt.allocation.success);
+  EXPECT_EQ(rs.stats.threads_used, 1u);
+  EXPECT_EQ(rt.stats.threads_used, 4u);
+  EXPECT_EQ(allocation_signature(rs.allocation), allocation_signature(rt.allocation));
+  EXPECT_EQ(rs.stats.closeness_computations, rt.stats.closeness_computations);
+  EXPECT_EQ(rs.stats.allocation_runs, rt.stats.allocation_runs);
+  EXPECT_EQ(rs.stats.iterations, rt.stats.iterations);
+  EXPECT_EQ(rs.stats.clusterings_applied, rt.stats.clusterings_applied);
+  EXPECT_EQ(rs.stats.clusterings_rejected, rt.stats.clusterings_rejected);
+  EXPECT_EQ(rs.stats.one_to_many_applied, rt.stats.one_to_many_applied);
+  EXPECT_EQ(rs.stats.gif_count, rt.stats.gif_count);
+  EXPECT_EQ(rs.stats.final_units, rt.stats.final_units);
+}
+
+TEST(Cram, DefaultThreadOptionResolvesToHardwareConcurrency) {
+  const auto table = one_publisher();
+  const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table);
+  ASSERT_TRUE(r.allocation.success);
+  EXPECT_GE(r.stats.threads_used, 1u);
+}
+
+// Regression: the blacklist key used to be (a << 32) ^ b, which discards
+// the high bits of the smaller id. These two distinct pairs collided under
+// that fold (both mapped to 1 << 32); the widened key keeps them apart.
+TEST(Cram, PairKeyKeepsDistinctPairsDistinct) {
+  const std::uint64_t big = std::uint64_t{1} << 32;
+  const GifPairKey k1 = make_gif_pair_key(0, big);
+  const GifPairKey k2 = make_gif_pair_key(2, 3 * big);
+  EXPECT_FALSE(k1 == k2);
+  // Unordered: (a,b) and (b,a) are the same pair.
+  EXPECT_TRUE(k1 == make_gif_pair_key(big, 0));
+  std::unordered_set<GifPairKey, GifPairKeyHash> blacklist;
+  blacklist.insert(k1);
+  EXPECT_TRUE(blacklist.contains(make_gif_pair_key(big, 0)));
+  EXPECT_FALSE(blacklist.contains(k2));
 }
 
 TEST(Cram, MaxIterationsBoundsWork) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 namespace greenps {
 namespace {
 
@@ -150,6 +152,40 @@ TEST(SubscriptionProfile, MergedProfileInputCountsSharedTrafficOnce) {
   merged.merge(b);
   const double sum = a.induced_rate(table) + b.induced_rate(table);
   EXPECT_LT(merged.induced_rate(table), 0.6 * sum);
+}
+
+// Property: the fused pairwise_counts kernel agrees with the naive
+// per-operation set algebra on randomized profiles — disjoint, nested and
+// overlapping publisher sets, sliding windows included.
+TEST(SubscriptionProfile, PairwiseCountsMatchNaiveSetAlgebra) {
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    SubscriptionProfile a(128), b(128);
+    for (int i = 0; i < 80; ++i) {
+      const AdvId adv{static_cast<std::uint64_t>(rng.index(5))};
+      const auto seq = static_cast<MessageSeq>(rng.uniform_int(0, 300));
+      if (rng.chance(0.6)) a.record(adv, seq);
+      if (rng.chance(0.6)) b.record(adv, seq + static_cast<MessageSeq>(rng.index(4)));
+    }
+    const auto pc = SubscriptionProfile::pairwise_counts(a, b);
+    EXPECT_EQ(pc.intersect, SubscriptionProfile::intersect_count(a, b)) << "trial " << trial;
+    EXPECT_EQ(pc.union_, SubscriptionProfile::union_count(a, b)) << "trial " << trial;
+    EXPECT_EQ(pc.xor_, SubscriptionProfile::xor_count(a, b)) << "trial " << trial;
+    EXPECT_EQ(pc.card_a, a.cardinality()) << "trial " << trial;
+    EXPECT_EQ(pc.card_b, b.cardinality()) << "trial " << trial;
+    // And the derived relations stay consistent with the counts.
+    EXPECT_EQ(SubscriptionProfile::covers(a, b), pc.intersect == pc.card_b);
+    EXPECT_EQ(SubscriptionProfile::same_bits(a, b),
+              pc.intersect == pc.card_a && pc.intersect == pc.card_b);
+  }
+}
+
+TEST(SubscriptionProfile, RelationPerformsExactlyOneProfileWalk) {
+  const auto a = profile_of(kAdv1, {1, 2, 3});
+  const auto b = profile_of(kAdv1, {2, 3, 4});
+  SubscriptionProfile::reset_pairwise_walks();
+  (void)SubscriptionProfile::relation(a, b);
+  EXPECT_EQ(SubscriptionProfile::pairwise_walks(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace greenps {
+namespace {
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+}
+
+TEST(ThreadPool, SizeCountsTheCaller) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);  // no extra workers
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);  // caller + 3 workers
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;  // no atomics needed: everything runs on the caller
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [&](std::size_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 50u * (64u * 63u / 2));
+}
+
+TEST(ThreadPool, EmptyAndSingletonLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ResultsLandInPerIndexSlots) {
+  // The pattern CRAM relies on: concurrent writers, disjoint slots, results
+  // merged after the join are independent of scheduling.
+  ThreadPool pool(4);
+  std::vector<std::size_t> out(1000, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace greenps
