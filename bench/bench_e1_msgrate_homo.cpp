@@ -14,12 +14,15 @@ using namespace greenps;
 using namespace greenps::bench;
 
 int main() {
+  const BenchBudget budget;  // GREENPS_BENCH_BUDGET_S caps the sweep
   const HarnessConfig base = homogeneous_base();
   std::printf(
       "E1: average broker message rate (msg/s per allocated broker), homogeneous\n"
       "brokers=%zu publishers=%zu %s\n\n",
       base.scenario.num_brokers, base.scenario.num_publishers,
-      full_scale() ? "[FULL SCALE]" : "[reduced scale; GREENPS_FULL=1 for paper scale]");
+      tiny_scale()   ? "[TINY: smoke-test scale]"
+      : full_scale() ? "[FULL SCALE]"
+                     : "[reduced scale; GREENPS_FULL=1 for paper scale]");
 
   // "Average broker message rate" averages over the fixed broker pool (the
   // fleet the operator pays for), so deallocating brokers and eliminating
@@ -31,13 +34,16 @@ int main() {
              "vs MANUAL"},
             widths);
 
+  std::vector<std::string> json_rows;
   for (const std::size_t spp : subs_per_publisher_sweep()) {
+    if (budget.skip("remaining subscription sweep")) break;
     HarnessConfig cfg = base;
     cfg.scenario.subs_per_publisher = spp;
     const std::size_t total_subs = spp * cfg.scenario.num_publishers;
     const auto pool_size = static_cast<double>(cfg.scenario.num_brokers);
     double manual_pool_rate = 0;
     for (const Approach a : all_approaches()) {
+      if (budget.skip("remaining approaches at this subscription count")) break;
       const RunResult r = run_approach(a, cfg);
       const double pool_rate = r.summary.system_msg_rate / pool_size;
       if (a == Approach::kManual) manual_pool_rate = pool_rate;
@@ -46,8 +52,12 @@ int main() {
                  fmt(r.summary.avg_broker_msg_rate, 2), fmt(r.summary.system_msg_rate, 1),
                  pct_change(manual_pool_rate, pool_rate)},
                 widths);
+      JsonObject row = run_result_json(r);
+      row.set_integer("subscriptions", total_subs);
+      json_rows.push_back(row.render());
     }
     std::printf("\n");
   }
+  write_sim_bench_json("e1", json_rows);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "matching/matching_engine.hpp"
 #include "poset/poset.hpp"
 #include "profile/closeness.hpp"
+#include "sim/event_queue.hpp"
 #include "workload/subscription_gen.hpp"
 
 namespace greenps {
@@ -141,6 +142,76 @@ void BM_MatchingEngine(benchmark::State& state) {
   state.SetLabel(std::to_string(engine.size()) + " filters");
 }
 BENCHMARK(BM_MatchingEngine)->Arg(2000)->Arg(8000);
+
+// Equality-only filters: every probe is one hash bucket of the typed index.
+void BM_MatchingEngineEqOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatchingEngine engine;
+  for (std::size_t i = 0; i < n; ++i) {
+    Filter f;
+    f.add(Predicate{"class", Op::kEq, Value(std::string("STOCK"))});
+    f.add(Predicate{"symbol", Op::kEq, Value("SYM" + std::to_string(i % 40))});
+    engine.insert(i, std::move(f));
+  }
+  Publication pub;
+  pub.set_attr("class", Value(std::string("STOCK")));
+  pub.set_attr("symbol", Value(std::string("SYM7")));
+  pub.set_attr("low", Value(18.0));
+  std::vector<MatchingEngine::Handle> out;
+  for (auto _ : state) {
+    out.clear();
+    engine.match_into(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetLabel(std::to_string(engine.size()) + " filters");
+}
+BENCHMARK(BM_MatchingEngineEqOnly)->Arg(2000)->Arg(8000);
+
+// Range-only filters (no equality predicate anywhere): before the interval
+// index these all sat on the scan list and every match brute-forced the
+// whole table.
+void BM_MatchingEngineRangeOnly(benchmark::State& state) {
+  Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatchingEngine engine;
+  for (std::size_t i = 0; i < n; ++i) {
+    Filter f;
+    const double lo = rng.uniform_real(0.0, 90.0);
+    f.add(Predicate{"low", Op::kGt, Value(lo)});
+    f.add(Predicate{"low", Op::kLt, Value(lo + rng.uniform_real(0.5, 10.0))});
+    engine.insert(i, std::move(f));
+  }
+  Publication pub;
+  pub.set_attr("class", Value(std::string("STOCK")));
+  pub.set_attr("low", Value(42.0));
+  std::vector<MatchingEngine::Handle> out;
+  for (auto _ : state) {
+    out.clear();
+    engine.match_into(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetLabel(std::to_string(engine.size()) + " filters");
+}
+BENCHMARK(BM_MatchingEngineRangeOnly)->Arg(2000)->Arg(8000);
+
+// Event-queue throughput: schedule a burst, drain it, repeat. The Action is
+// an inline-storage callable, so this path never heap-allocates per event.
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(9);
+  std::uint64_t executed = 0;
+  constexpr int kBurst = 1024;
+  for (auto _ : state) {
+    const SimTime base = q.now();
+    for (int i = 0; i < kBurst; ++i) {
+      q.schedule(base + rng.uniform_int(1, 1000), [&executed] { ++executed; });
+    }
+    q.run_until(base + 1001);
+  }
+  benchmark::DoNotOptimize(executed);
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
 
 }  // namespace
 }  // namespace greenps

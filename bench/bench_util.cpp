@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "croc/reconfig_plan.hpp"
+#include "matching/matching_engine.hpp"
 
 namespace greenps::bench {
 
@@ -38,6 +39,11 @@ std::vector<Approach> proposed_approaches() {
 
 bool full_scale() {
   const char* v = std::getenv("GREENPS_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0' && !tiny_scale();
+}
+
+bool tiny_scale() {
+  const char* v = std::getenv("GREENPS_TINY");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
@@ -84,6 +90,16 @@ RunResult run_approach(Approach a, const HarnessConfig& cfg) {
   RunResult result;
   result.approach = a;
 
+  const auto t0 = std::chrono::steady_clock::now();
+  MatchingEngine::reset_match_walks();
+  const auto finish = [&](Simulation& sim) {
+    result.summary = sim.summarize();
+    result.events = sim.events_executed();
+    result.match_walks = MatchingEngine::match_walks();
+    result.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
   ScenarioConfig sc = cfg.scenario;
   // MANUAL forms the initial overlay for every approach; AUTOMATIC is the
   // other deploy-only baseline.
@@ -95,7 +111,7 @@ RunResult run_approach(Approach a, const HarnessConfig& cfg) {
     sim.run(cfg.profile_seconds);  // warm-up for parity with the others
     sim.reset_metrics();
     sim.run(cfg.measure_seconds);
-    result.summary = sim.summarize();
+    finish(sim);
     return result;
   }
 
@@ -104,13 +120,13 @@ RunResult run_approach(Approach a, const HarnessConfig& cfg) {
   result.report = croc.reconfigure(sim, BrokerId{0});
   if (!result.report.success) {
     std::fprintf(stderr, "[bench] %s reconfiguration failed\n", approach_name(a));
-    result.summary = sim.summarize();
+    finish(sim);
     return result;
   }
   sim.redeploy(apply_plan(sim.deployment(), result.report.plan));
   result.reconfigured = true;
   sim.run(cfg.measure_seconds);
-  result.summary = sim.summarize();
+  finish(sim);
   return result;
 }
 
@@ -226,6 +242,34 @@ std::string JsonObject::render() const {
   }
   out += '}';
   return out;
+}
+
+JsonObject run_result_json(const RunResult& r) {
+  JsonObject row;
+  row.set_string("approach", approach_name(r.approach))
+      .set_bool("reconfigured", r.reconfigured)
+      .set_number("wall_s", r.wall_s)
+      .set_integer("events", r.events)
+      .set_number("events_per_s", r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0)
+      .set_integer("match_walks", r.match_walks)
+      .set_integer("publications", r.summary.publications)
+      .set_integer("deliveries", r.summary.deliveries)
+      .set_integer("allocated_brokers", r.summary.allocated_brokers)
+      .set_number("avg_hop_count", r.summary.avg_hop_count)
+      .set_number("system_msg_rate", r.summary.system_msg_rate)
+      .set_number("avg_broker_msg_rate", r.summary.avg_broker_msg_rate);
+  return row;
+}
+
+bool write_sim_bench_json(const std::string& bench, const std::vector<std::string>& rows) {
+  JsonObject doc;
+  doc.set_string("bench", bench)
+      .set_bool("full_scale", full_scale())
+      .set_bool("tiny_scale", tiny_scale())
+      .set_raw("rows", json_array(rows));
+  const bool ok = write_text_file("BENCH_sim.json", doc.render() + "\n");
+  if (ok) std::printf("\nwrote BENCH_sim.json (%zu result rows)\n", rows.size());
+  return ok;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

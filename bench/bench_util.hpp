@@ -49,6 +49,10 @@ struct RunResult {
   SimSummary summary;
   ReconfigurationReport report;  // success=false for MANUAL/AUTOMATIC
   bool reconfigured = false;
+  // Harness instrumentation (profile + reconfiguration + measurement):
+  double wall_s = 0;             // wall-clock seconds for the whole run
+  std::size_t events = 0;        // discrete events executed
+  std::size_t match_walks = 0;   // candidate filter evaluations (this thread)
 };
 
 [[nodiscard]] RunResult run_approach(Approach a, const HarnessConfig& cfg);
@@ -57,6 +61,10 @@ struct RunResult {
 [[nodiscard]] CrocConfig croc_config_for(Approach a, std::uint64_t seed);
 
 [[nodiscard]] bool full_scale();
+// GREENPS_TINY=1: smoke-test scale (a few brokers, seconds of simulated
+// time) so a bench binary can run under ctest as a routing regression
+// check. Overrides GREENPS_FULL.
+[[nodiscard]] bool tiny_scale();
 
 // Column-aligned table printing.
 void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths);
@@ -105,5 +113,14 @@ class JsonObject {
 
 // Write `content` to `path` (truncating); returns false and warns on failure.
 bool write_text_file(const std::string& path, const std::string& content);
+
+// One BENCH_sim.json row for a completed run: approach, wall clock, event
+// throughput, match-walk counters and the headline summary numbers. Callers
+// add their sweep coordinates (subs, brokers, ...) on top.
+[[nodiscard]] JsonObject run_result_json(const RunResult& r);
+
+// Write BENCH_sim.json (cwd) with the given rendered rows; prints a
+// confirmation line. `bench` names the producing experiment ("e1", "e5").
+bool write_sim_bench_json(const std::string& bench, const std::vector<std::string>& rows);
 
 }  // namespace greenps::bench

@@ -12,6 +12,16 @@ namespace greenps::bench {
 inline HarnessConfig homogeneous_base() {
   HarnessConfig h;
   ScenarioConfig& sc = h.scenario;
+  if (tiny_scale()) {
+    // Smoke-test shape for ctest: seconds of wall clock, same code paths.
+    sc.num_brokers = 10;
+    sc.num_publishers = 3;
+    sc.full_out_bw_kb_s = 30.0;
+    h.profile_seconds = 5.0;
+    h.measure_seconds = 10.0;
+    sc.seed = 42;
+    return h;
+  }
   if (full_scale()) {
     sc.num_brokers = 80;
     sc.num_publishers = 40;
@@ -30,6 +40,7 @@ inline HarnessConfig homogeneous_base() {
 }
 
 inline std::vector<std::size_t> subs_per_publisher_sweep() {
+  if (tiny_scale()) return {5};
   if (full_scale()) return {50, 100, 150, 200};  // 2,000..8,000 subscriptions
   return {25, 50, 75, 100};                      // 250..1,000 subscriptions
 }

@@ -54,6 +54,13 @@ class Broker {
     return srt_.match(pub, from);
   }
 
+  // Allocation-free variant: fills (and clears) a caller-owned result, so a
+  // driver can reuse one MatchResult's vectors across every routed message.
+  void route_into(const Publication& pub, const BrokerId* from,
+                  SubscriptionRoutingTable::MatchResult& out) const {
+    srt_.match_into(pub, from, out);
+  }
+
   void reset_queues() {
     matcher_.reset();
     out_link_.reset();

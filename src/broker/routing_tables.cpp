@@ -6,40 +6,134 @@
 
 namespace greenps {
 
+namespace {
+bool g_adv_pruning_enabled = true;
+}  // namespace
+
+void SubscriptionRoutingTable::set_adv_pruning_enabled(bool enabled) {
+  g_adv_pruning_enabled = enabled;
+}
+bool SubscriptionRoutingTable::adv_pruning_enabled() { return g_adv_pruning_enabled; }
+
+std::vector<SubscriptionRoutingTable::EqPred> SubscriptionRoutingTable::eq_preds(
+    const Filter& f) {
+  std::vector<EqPred> out;
+  for (const Predicate& p : f.predicates()) {
+    if (p.op != Op::kEq) continue;
+    out.push_back(EqPred{Interner::global().intern(p.attribute), value_key(p.value)});
+  }
+  return out;
+}
+
+// Conservative disjointness: if both filters carry an equality predicate on
+// the same attribute with different value keys, no publication value can
+// equal both, so the filters share no matching publication. (Equal keys of
+// different values exist only for NaN; keeping such a candidate is merely
+// conservative.) This is far cheaper than a full intersects() — no filter
+// normalization/copies — at the cost of a slightly wider candidate set for
+// range-disjoint filters, which the per-candidate match re-check absorbs.
+bool SubscriptionRoutingTable::eq_disjoint(const std::vector<EqPred>& a,
+                                           const std::vector<EqPred>& b) {
+  for (const EqPred& pa : a) {
+    for (const EqPred& pb : b) {
+      if (pa.attr == pb.attr && !(pa.key == pb.key)) return true;
+    }
+  }
+  return false;
+}
+
 void SubscriptionRoutingTable::insert(SubId sub, const Filter& filter, Hop next_hop) {
-  if (hops_.contains(sub)) engine_.remove(sub.value());
+  if (hops_.contains(sub)) remove(sub);
   engine_.insert(sub.value(), filter);
   hops_.insert_or_assign(sub, next_hop);
+  if (advs_.empty()) return;
+  const CompiledFilter* cf = engine_.compiled(sub.value());
+  const std::vector<EqPred> sub_eqs = eq_preds(filter);
+  for (auto& [adv, scope] : advs_) {
+    (void)adv;
+    if (eq_disjoint(scope.eqs, sub_eqs)) continue;
+    const auto pos = std::lower_bound(
+        scope.candidates.begin(), scope.candidates.end(), sub.value(),
+        [](const Cand& c, MatchingEngine::Handle h) { return c.handle < h; });
+    scope.candidates.insert(pos, Cand{sub.value(), cf, next_hop});
+  }
 }
 
 void SubscriptionRoutingTable::remove(SubId sub) {
   if (!hops_.contains(sub)) return;
   engine_.remove(sub.value());
   hops_.erase(sub);
+  for (auto& [adv, scope] : advs_) {
+    (void)adv;
+    const auto pos = std::lower_bound(
+        scope.candidates.begin(), scope.candidates.end(), sub.value(),
+        [](const Cand& c, MatchingEngine::Handle h) { return c.handle < h; });
+    if (pos != scope.candidates.end() && pos->handle == sub.value()) {
+      scope.candidates.erase(pos);
+    }
+  }
 }
 
-SubscriptionRoutingTable::MatchResult SubscriptionRoutingTable::match(
-    const Publication& pub, const BrokerId* exclude) const {
-  MatchResult result;
-  for (const auto handle : engine_.match(pub)) {
-    const SubId sub{handle};
-    const auto it = hops_.find(sub);
-    if (it == hops_.end()) continue;
-    const Hop& hop = it->second;
-    if (hop.kind == Hop::Kind::kClient) {
-      result.deliver.emplace_back(sub, hop.client);
-    } else {
-      if (exclude != nullptr && hop.broker == *exclude) continue;
-      if (std::find(result.forward_to.begin(), result.forward_to.end(), hop.broker) ==
-          result.forward_to.end()) {
+void SubscriptionRoutingTable::register_advertisement(AdvId id, const Filter& filter) {
+  AdvScope scope;
+  scope.compiled = CompiledFilter(filter);
+  scope.eqs = eq_preds(filter);
+  engine_.for_each([&](MatchingEngine::Handle h, const Filter& f) {
+    if (eq_disjoint(scope.eqs, eq_preds(f))) return;
+    const auto hit = hops_.find(SubId{h});
+    if (hit == hops_.end()) return;
+    scope.candidates.push_back(Cand{h, engine_.compiled(h), hit->second});
+  });
+  std::sort(scope.candidates.begin(), scope.candidates.end(),
+            [](const Cand& a, const Cand& b) { return a.handle < b.handle; });
+  advs_.insert_or_assign(id, std::move(scope));
+}
+
+void SubscriptionRoutingTable::match_into(const Publication& pub, const BrokerId* exclude,
+                                          MatchResult& result) const {
+  result.clear();
+  const AdvScope* scope = nullptr;
+  if (g_adv_pruning_enabled && pub.adv_id().valid()) {
+    const auto it = advs_.find(pub.adv_id());
+    // Pruning applies only to conforming publications; anything else (or an
+    // unknown advertisement) takes the full engine match.
+    if (it != advs_.end() && it->second.compiled.matches(pub)) scope = &it->second;
+  }
+  if (scope != nullptr) {
+    // Fast path: candidates carry compiled filter and hop, so the whole
+    // routing decision is a linear pass with zero hash lookups.
+    MatchingEngine::add_match_walks(scope->candidates.size());
+    for (const Cand& c : scope->candidates) {
+      if (!c.filter->matches(pub)) continue;
+      if (c.hop.kind == Hop::Kind::kClient) {
+        result.deliver.emplace_back(SubId{c.handle}, c.hop.client);
+      } else {
+        if (exclude != nullptr && c.hop.broker == *exclude) continue;
+        result.forward_to.push_back(c.hop.broker);
+      }
+    }
+  } else {
+    scratch_.clear();
+    engine_.match_into(pub, scratch_);
+    for (const auto handle : scratch_) {
+      const SubId sub{handle};
+      const auto it = hops_.find(sub);
+      if (it == hops_.end()) continue;
+      const Hop& hop = it->second;
+      if (hop.kind == Hop::Kind::kClient) {
+        result.deliver.emplace_back(sub, hop.client);
+      } else {
+        if (exclude != nullptr && hop.broker == *exclude) continue;
         result.forward_to.push_back(hop.broker);
       }
     }
   }
-  // Deterministic ordering for reproducible simulations.
+  // Deterministic ordering for reproducible simulations; forwarding dedup is
+  // one sort + unique instead of a quadratic std::find per hop.
   std::sort(result.forward_to.begin(), result.forward_to.end());
+  result.forward_to.erase(std::unique(result.forward_to.begin(), result.forward_to.end()),
+                          result.forward_to.end());
   std::sort(result.deliver.begin(), result.deliver.end());
-  return result;
 }
 
 void AdvertisementRoutingTable::insert(Advertisement adv, Hop last_hop) {

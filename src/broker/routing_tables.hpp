@@ -47,23 +47,81 @@ class SubscriptionRoutingTable {
     std::vector<BrokerId> forward_to;
     // Local subscriber deliveries: one copy per matching subscription.
     std::vector<std::pair<SubId, ClientId>> deliver;
+
+    void clear() {
+      forward_to.clear();
+      deliver.clear();
+    }
   };
 
   // Install or replace the routing entry for `sub`.
   void insert(SubId sub, const Filter& filter, Hop next_hop);
   void remove(SubId sub);
 
+  // Announce an advertisement known at this broker. A conforming publication
+  // from `id` (one matching the advertisement's filter) can only match
+  // subscriptions compatible with it, so the table precomputes a
+  // conservative candidate set per advertisement — routing tables are
+  // static during a simulation run — and matches only those candidates.
+  // Each candidate carries its compiled filter and next hop, so the fast
+  // path runs without any per-candidate hash lookup. Non-conforming
+  // publications fall back to the full engine match, so registration never
+  // changes the match set.
+  void register_advertisement(AdvId id, const Filter& filter);
+
   // Match a publication, optionally excluding the broker link it arrived on
-  // (never forward a publication back where it came from).
+  // (never forward a publication back where it came from). `out` is cleared
+  // first; reusing one MatchResult across calls avoids reallocation.
+  void match_into(const Publication& pub, const BrokerId* exclude, MatchResult& out) const;
+
   [[nodiscard]] MatchResult match(const Publication& pub,
-                                  const BrokerId* exclude = nullptr) const;
+                                  const BrokerId* exclude = nullptr) const {
+    MatchResult out;
+    match_into(pub, exclude, out);
+    return out;
+  }
 
   [[nodiscard]] std::size_t filter_count() const { return hops_.size(); }
   [[nodiscard]] bool contains(SubId sub) const { return hops_.contains(sub); }
 
+  // Test hook: disable advertisement-scoped candidate pruning process-wide
+  // (the determinism test asserts identical results either way). Not
+  // thread-safe against concurrent matching.
+  static void set_adv_pruning_enabled(bool enabled);
+  [[nodiscard]] static bool adv_pruning_enabled();
+
  private:
+  // One equality predicate of a filter in interned form, for the
+  // candidate-set disjointness test: two filters with equality predicates on
+  // the same attribute but different values can never match the same
+  // publication.
+  struct EqPred {
+    InternId attr = kNoIntern;
+    ValueKey key;
+  };
+
+  struct Cand {
+    MatchingEngine::Handle handle;
+    const CompiledFilter* filter;  // owned by engine_, valid while inserted
+    Hop hop;
+  };
+
+  struct AdvScope {
+    CompiledFilter compiled;   // conformance check for incoming publications
+    std::vector<EqPred> eqs;   // the advertisement's equality predicates
+    std::vector<Cand> candidates;  // sorted by handle
+  };
+
+  [[nodiscard]] static std::vector<EqPred> eq_preds(const Filter& f);
+  [[nodiscard]] static bool eq_disjoint(const std::vector<EqPred>& a,
+                                        const std::vector<EqPred>& b);
+
   MatchingEngine engine_;
   std::unordered_map<SubId, Hop> hops_;
+  std::unordered_map<AdvId, AdvScope> advs_;
+  // Scratch for match_into; mutable because matching is logically const.
+  // Brokers are driven by the single simulation thread.
+  mutable std::vector<MatchingEngine::Handle> scratch_;
 };
 
 class AdvertisementRoutingTable {

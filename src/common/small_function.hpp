@@ -1,0 +1,87 @@
+// Move-only callable with inline (small-buffer) storage and NO heap
+// fallback: a callable larger than the buffer is a compile-time error, so
+// hot paths that construct one per event provably never allocate. This is
+// what EventQueue stores instead of std::function, whose libstdc++ inline
+// buffer (16 bytes) is far too small for the simulator's closures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace greenps {
+
+template <typename Signature, std::size_t Capacity = 64>
+class SmallFunction;  // primary template, never defined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+ public:
+  SmallFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds SmallFunction capacity — no heap fallback; "
+                  "raise Capacity or shrink the capture");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<Fn>);
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(p)))(std::forward<Args>(args)...);
+    };
+    relocate_ = [](void* dst, void* src) {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    };
+    destroy_ = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) { return invoke_(buf_, std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void move_from(SmallFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.relocate_(buf_, other.buf_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+  }
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      destroy_(buf_);
+      invoke_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace greenps

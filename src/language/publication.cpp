@@ -9,9 +9,15 @@ void Publication::set_attr(std::string name, Value v) {
   const auto it = std::lower_bound(
       attrs_.begin(), attrs_.end(), name,
       [](const auto& p, const std::string& n) { return p.first < n; });
+  // Interned keys are computed once here; value_key() interns string values
+  // so later filter inserts using the same strings land on the same ids.
+  const AttrKey key{Interner::global().intern(name), value_key(v)};
+  size_kb_cache_ = -1;
   if (it != attrs_.end() && it->first == name) {
     it->second = std::move(v);
+    keys_[static_cast<std::size_t>(it - attrs_.begin())] = key;
   } else {
+    keys_.insert(keys_.begin() + (it - attrs_.begin()), key);
     attrs_.emplace(it, std::move(name), std::move(v));
   }
 }
@@ -25,13 +31,15 @@ const Value* Publication::find(const std::string& name) const {
 }
 
 MsgSize Publication::size_kb() const {
+  if (size_kb_cache_ >= 0) return size_kb_cache_;
   // Rough PADRES-like encoding estimate: ~24 bytes of header plus the
   // rendered attribute tuples.
   std::size_t bytes = 24;
   for (const auto& [name, value] : attrs_) {
     bytes += name.size() + value.to_string().size() + 4;
   }
-  return static_cast<MsgSize>(bytes) / 1024.0;
+  size_kb_cache_ = static_cast<MsgSize>(bytes) / 1024.0;
+  return size_kb_cache_;
 }
 
 std::string Publication::to_string() const {

@@ -1,0 +1,55 @@
+// Pre-resolved form of a Filter for the matching hot path.
+//
+// A broker evaluates the same filter against thousands of publications;
+// Filter::matches re-resolves each predicate's attribute by string and
+// compares Values through the variant every time. CompiledFilter resolves
+// once at build time: attributes become interned ids (matched against the
+// publication's precomputed AttrKeys with integer compares), equality
+// becomes a ValueKey compare, and numeric ranges compare raw doubles. The
+// rare predicates with no fast form (string prefix/suffix/contains,
+// negation) keep a copy of the original predicate and take the slow path.
+//
+// matches() returns exactly what Filter::matches returns for every
+// publication (the differential test pits one against the other).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "language/interner.hpp"
+#include "language/publication.hpp"
+#include "language/subscription.hpp"
+
+namespace greenps {
+
+class CompiledFilter {
+ public:
+  CompiledFilter() = default;
+  explicit CompiledFilter(const Filter& f);
+
+  [[nodiscard]] bool matches(const Publication& pub) const;
+  [[nodiscard]] std::size_t size() const { return preds_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kEqKey,    // ValueKey equality (exact except NaN, which compiles to kSlow)
+    kLt,       // numeric comparisons against `num`
+    kLe,
+    kGt,
+    kGe,
+    kPresent,  // attribute presence is the whole test
+    kSlow,     // evaluate `slow` against the attribute's Value
+  };
+
+  struct Pred {
+    InternId attr = kNoIntern;
+    Kind kind = Kind::kSlow;
+    ValueKey key;      // kEqKey
+    double num = 0;    // kLt..kGe
+    Predicate slow;    // kSlow
+  };
+
+  std::vector<Pred> preds_;
+};
+
+}  // namespace greenps

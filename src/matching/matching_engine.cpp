@@ -1,25 +1,42 @@
 #include "matching/matching_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace greenps {
 
-std::string MatchingEngine::value_key(const Value& v) {
-  // Numeric keys are canonicalized through double formatting so int 5 and
-  // real 5.0 land in the same bucket (they are equal under Value::equals).
-  if (v.is_numeric()) return "n:" + std::to_string(v.as_double());
-  if (v.is_string()) return "s:" + v.as_string();
-  return v.as_bool() ? "b:1" : "b:0";
-}
+namespace {
 
-const Predicate* MatchingEngine::pick_index_predicate(const Filter& f) const {
+thread_local std::size_t t_match_walks = 0;
+bool g_index_enabled = true;
+
+// Conservative numeric interval [lo, hi] implied by a filter's inequality
+// predicates on one attribute. Bounds are inclusive even for strict
+// operators — candidates are re-checked with the full filter, so widening
+// is safe and keeps the stab test branch-free.
+struct Bounds {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool bounded_below = false;
+  bool bounded_above = false;
+};
+
+}  // namespace
+
+std::size_t MatchingEngine::match_walks() { return t_match_walks; }
+void MatchingEngine::reset_match_walks() { t_match_walks = 0; }
+void MatchingEngine::add_match_walks(std::size_t n) { t_match_walks += n; }
+void MatchingEngine::set_index_enabled(bool enabled) { g_index_enabled = enabled; }
+bool MatchingEngine::index_enabled() { return g_index_enabled; }
+
+const Predicate* MatchingEngine::pick_eq_predicate(const Filter& f) const {
   const Predicate* best = nullptr;
   std::size_t best_distinct = 0;
   for (const auto& p : f.predicates()) {
     if (p.op != Op::kEq) continue;
     std::size_t distinct = 0;
-    const auto it = buckets_.find(p.attribute);
-    if (it != buckets_.end()) distinct = it->second.size();
+    const auto it = attr_indexes_.find(Interner::global().find(p.attribute));
+    if (it != attr_indexes_.end()) distinct = it->second.eq.size();
     // `>=` so later predicates win ties: subscription filters typically put
     // the broad class predicate first and the selective one after it.
     if (best == nullptr || distinct >= best_distinct) {
@@ -31,34 +48,96 @@ const Predicate* MatchingEngine::pick_index_predicate(const Filter& f) const {
 }
 
 void MatchingEngine::insert(Handle handle, Filter filter) {
-  Entry e{std::move(filter), {}, {}};
-  if (const Predicate* p = pick_index_predicate(e.filter)) {
-    e.index_attr = p->attribute;
-    e.index_key = value_key(p->value);
-    buckets_[e.index_attr][e.index_key].push_back(handle);
-  } else {
-    scan_list_.push_back(handle);
+  remove(handle);  // replacing an entry must first drop its index refs
+  Entry e{std::move(filter), {}, Slot::kScan, kNoIntern, {}};
+  e.compiled = CompiledFilter(e.filter);
+  if (const Predicate* p = pick_eq_predicate(e.filter)) {
+    e.slot = Slot::kEq;
+    e.index_attr = Interner::global().intern(p->attribute);
+    e.eq_key = value_key(p->value);
+    const auto it = entries_.insert_or_assign(handle, std::move(e)).first;
+    const Entry& stored = it->second;
+    attr_indexes_[stored.index_attr].eq[stored.eq_key].push_back(Ref{handle, &stored});
+    return;
   }
-  entries_.insert_or_assign(handle, std::move(e));
+
+  // No equality predicate: look for a numeric interval to index under,
+  // preferring the most constrained attribute (both bounds > one bound).
+  std::unordered_map<InternId, Bounds> bounds;
+  std::vector<InternId> order;  // deterministic preference order
+  for (const auto& p : e.filter.predicates()) {
+    if (!p.value.is_numeric()) continue;
+    if (p.op != Op::kLt && p.op != Op::kLe && p.op != Op::kGt && p.op != Op::kGe) continue;
+    const InternId attr = Interner::global().intern(p.attribute);
+    auto [it, inserted] = bounds.try_emplace(attr);
+    if (inserted) order.push_back(attr);
+    Bounds& b = it->second;
+    const double v = p.value.as_double();
+    if (p.op == Op::kLt || p.op == Op::kLe) {
+      b.hi = b.bounded_above ? std::min(b.hi, v) : v;
+      b.bounded_above = true;
+    } else {
+      b.lo = b.bounded_below ? std::max(b.lo, v) : v;
+      b.bounded_below = true;
+    }
+  }
+  const InternId* best = nullptr;
+  int best_score = -1;
+  for (const InternId& attr : order) {
+    const Bounds& b = bounds.at(attr);
+    const int score = (b.bounded_below ? 1 : 0) + (b.bounded_above ? 1 : 0);
+    if (score > best_score) {
+      best = &attr;
+      best_score = score;
+    }
+  }
+  if (best != nullptr) {
+    const Bounds& b = bounds.at(*best);
+    e.slot = Slot::kInterval;
+    e.index_attr = *best;
+    const auto it = entries_.insert_or_assign(handle, std::move(e)).first;
+    auto& intervals = attr_indexes_[it->second.index_attr].intervals;
+    const Interval iv{b.lo, b.hi, handle, &it->second};
+    intervals.insert(std::upper_bound(intervals.begin(), intervals.end(), iv), iv);
+  } else {
+    const auto it = entries_.insert_or_assign(handle, std::move(e)).first;
+    scan_list_.push_back(Ref{handle, &it->second});
+  }
 }
 
 void MatchingEngine::remove(Handle handle) {
   const auto it = entries_.find(handle);
   if (it == entries_.end()) return;
   const Entry& e = it->second;
-  auto erase_from = [handle](std::vector<Handle>& v) {
-    v.erase(std::remove(v.begin(), v.end(), handle), v.end());
+  auto erase_from = [handle](std::vector<Ref>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [handle](const Ref& r) { return r.handle == handle; }),
+            v.end());
   };
-  if (e.index_attr.empty()) {
-    erase_from(scan_list_);
-  } else {
-    auto bit = buckets_.find(e.index_attr);
-    if (bit != buckets_.end()) {
-      auto kit = bit->second.find(e.index_key);
-      if (kit != bit->second.end()) {
-        erase_from(kit->second);
-        if (kit->second.empty()) bit->second.erase(kit);
+  switch (e.slot) {
+    case Slot::kScan:
+      erase_from(scan_list_);
+      break;
+    case Slot::kEq: {
+      auto ait = attr_indexes_.find(e.index_attr);
+      if (ait != attr_indexes_.end()) {
+        auto kit = ait->second.eq.find(e.eq_key);
+        if (kit != ait->second.eq.end()) {
+          erase_from(kit->second);
+          if (kit->second.empty()) ait->second.eq.erase(kit);
+        }
       }
+      break;
+    }
+    case Slot::kInterval: {
+      auto ait = attr_indexes_.find(e.index_attr);
+      if (ait != attr_indexes_.end()) {
+        auto& ivs = ait->second.intervals;
+        ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
+                                 [handle](const Interval& iv) { return iv.handle == handle; }),
+                  ivs.end());
+      }
+      break;
     }
   }
   entries_.erase(it);
@@ -69,21 +148,68 @@ const Filter* MatchingEngine::find(Handle handle) const {
   return it == entries_.end() ? nullptr : &it->second.filter;
 }
 
-std::vector<MatchingEngine::Handle> MatchingEngine::match(const Publication& pub) const {
-  std::vector<Handle> out;
-  auto try_candidates = [&](const std::vector<Handle>& candidates) {
-    for (const Handle h : candidates) {
-      const auto it = entries_.find(h);
-      if (it != entries_.end() && it->second.filter.matches(pub)) out.push_back(h);
+const CompiledFilter* MatchingEngine::compiled(Handle handle) const {
+  const auto it = entries_.find(handle);
+  return it == entries_.end() ? nullptr : &it->second.compiled;
+}
+
+void MatchingEngine::match_indexed(const Publication& pub, std::vector<Handle>& out) const {
+  auto try_candidates = [&](const std::vector<Ref>& candidates) {
+    for (const Ref& r : candidates) {
+      ++t_match_walks;
+      if (r.entry->compiled.matches(pub)) out.push_back(r.handle);
     }
   };
-  for (const auto& [attr, value] : pub.attrs()) {
-    const auto bit = buckets_.find(attr);
-    if (bit == buckets_.end()) continue;
-    const auto kit = bit->second.find(value_key(value));
-    if (kit != bit->second.end()) try_candidates(kit->second);
+  const auto& keys = pub.attr_keys();
+  for (const Publication::AttrKey& k : keys) {
+    const auto ait = attr_indexes_.find(k.attr);
+    if (ait == attr_indexes_.end()) continue;
+    const AttrIndex& index = ait->second;
+    if (!index.eq.empty()) {
+      const auto kit = index.eq.find(k.key);
+      if (kit != index.eq.end()) try_candidates(kit->second);
+    }
+    if (!index.intervals.empty() && k.key.tag == ValueKey::Tag::kNumber) {
+      // Stab query: every interval with lo <= x is in the sorted prefix.
+      const double x = std::bit_cast<double>(k.key.bits);
+      const auto end = std::upper_bound(
+          index.intervals.begin(), index.intervals.end(), x,
+          [](double v, const Interval& iv) { return v < iv.lo; });
+      for (auto iv = index.intervals.begin(); iv != end; ++iv) {
+        if (iv->hi < x) continue;
+        ++t_match_walks;
+        if (iv->entry->compiled.matches(pub)) out.push_back(iv->handle);
+      }
+    }
   }
   try_candidates(scan_list_);
+}
+
+void MatchingEngine::match_into(const Publication& pub, std::vector<Handle>& out) const {
+  if (!g_index_enabled) {
+    for (const auto& [h, e] : entries_) {
+      ++t_match_walks;
+      if (e.compiled.matches(pub)) out.push_back(h);
+    }
+    return;
+  }
+  match_indexed(pub, out);
+}
+
+void MatchingEngine::match_among(const Publication& pub,
+                                 const std::vector<Handle>& candidates,
+                                 std::vector<Handle>& out) const {
+  for (const Handle h : candidates) {
+    const auto it = entries_.find(h);
+    if (it == entries_.end()) continue;
+    ++t_match_walks;
+    if (it->second.compiled.matches(pub)) out.push_back(h);
+  }
+}
+
+std::vector<MatchingEngine::Handle> MatchingEngine::match(const Publication& pub) const {
+  std::vector<Handle> out;
+  match_into(pub, out);
   return out;
 }
 

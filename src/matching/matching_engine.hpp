@@ -1,20 +1,31 @@
 // Broker-side matching engine.
 //
 // Stores filters under opaque handles and, given a publication, returns the
-// handles of all matching filters. Filters carrying an equality predicate
-// are bucketed under one (attribute, value) pair — the engine adaptively
-// picks the attribute with the highest observed selectivity — so a match
-// only probes the buckets keyed by the publication's own attribute values
-// plus a small residual scan list.
+// handles of all matching filters. The engine keeps typed per-attribute
+// indexes keyed on interned ids (no string construction on the match path):
+//
+//   - equality: filters carrying an equality predicate are bucketed under
+//     one (attribute id, value key) pair — the engine adaptively picks the
+//     attribute with the highest observed selectivity;
+//   - numeric intervals: range-only filters (e.g. `[volume,>,1000]`) are
+//     indexed under one attribute's conservative [lo, hi] interval, sorted
+//     by lower bound, so a match stabs the interval list instead of
+//     brute-forcing the scan list;
+//   - residual scan list: only filters with neither an equality nor a
+//     numeric range predicate (pure string operators, negation, presence).
+//
+// Every probed candidate is confirmed with a full Filter::matches, so the
+// indexes only need to be conservative (never miss a possible match).
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "language/interner.hpp"
 #include "language/publication.hpp"
 #include "language/subscription.hpp"
+#include "matching/compiled_filter.hpp"
 
 namespace greenps {
 
@@ -29,9 +40,19 @@ class MatchingEngine {
 
   // Handles of all filters matching `pub` (unordered).
   [[nodiscard]] std::vector<Handle> match(const Publication& pub) const;
+  // Allocation-free variant: appends matches to `out` (not cleared).
+  void match_into(const Publication& pub, std::vector<Handle>& out) const;
+  // Restricted variant: considers only `candidates` (each must be a live
+  // handle or is skipped). Used by advertisement-scoped pruning.
+  void match_among(const Publication& pub, const std::vector<Handle>& candidates,
+                   std::vector<Handle>& out) const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const Filter* find(Handle handle) const;
+  // Pre-resolved form of a live filter. The pointer stays valid until the
+  // handle is removed (entries live in node-based storage); callers cache it
+  // to evaluate candidates without re-resolving attribute names.
+  [[nodiscard]] const CompiledFilter* compiled(Handle handle) const;
 
   // Visit every live (handle, filter) pair.
   template <typename Fn>
@@ -39,23 +60,67 @@ class MatchingEngine {
     for (const auto& [h, e] : entries_) fn(h, e.filter);
   }
 
+  // Number of candidate filters evaluated (Filter::matches calls) by the
+  // calling thread. Test/bench hook for the index-pruning invariant,
+  // mirroring SubscriptionProfile::pairwise_walks().
+  [[nodiscard]] static std::size_t match_walks();
+  static void reset_match_walks();
+  // Credit `n` candidate evaluations done outside the engine (the routing
+  // table's advertisement-scoped fast path) to the same counter.
+  static void add_match_walks(std::size_t n);
+
+  // Test hook: disable the typed indexes process-wide and brute-force every
+  // live filter instead. The match *set* is identical either way; the
+  // determinism and differential tests assert exactly that. Not thread-safe
+  // against concurrent matching.
+  static void set_index_enabled(bool enabled);
+  [[nodiscard]] static bool index_enabled();
+
  private:
+  enum class Slot : std::uint8_t { kScan, kEq, kInterval };
+
   struct Entry {
     Filter filter;
-    std::string index_attr;  // empty => on the scan list
-    std::string index_key;
+    CompiledFilter compiled;
+    Slot slot = Slot::kScan;
+    InternId index_attr = kNoIntern;
+    ValueKey eq_key;  // valid when slot == kEq
+  };
+
+  // Index payload: the handle plus a pointer straight to its entry, so a
+  // probe evaluates candidates without a hash lookup per candidate. Entry
+  // pointers are stable (unordered_map nodes) until removal, which erases
+  // the Ref from every index vector.
+  struct Ref {
+    Handle handle;
+    const Entry* entry;
+  };
+
+  struct Interval {
+    double lo;  // conservative, inclusive bounds
+    double hi;
+    Handle handle;
+    const Entry* entry;
+
+    friend bool operator<(const Interval& a, const Interval& b) {
+      return a.lo != b.lo ? a.lo < b.lo : (a.hi != b.hi ? a.hi < b.hi : a.handle < b.handle);
+    }
+  };
+
+  struct AttrIndex {
+    std::unordered_map<ValueKey, std::vector<Ref>, ValueKeyHash> eq;
+    std::vector<Interval> intervals;  // sorted
   };
 
   // Selectivity heuristic: prefer bucketing under the equality attribute
   // with the most distinct values observed so far.
-  [[nodiscard]] const Predicate* pick_index_predicate(const Filter& f) const;
-  static std::string value_key(const Value& v);
+  [[nodiscard]] const Predicate* pick_eq_predicate(const Filter& f) const;
+  void match_indexed(const Publication& pub, std::vector<Handle>& out) const;
 
   std::unordered_map<Handle, Entry> entries_;
-  // (attr, value-key) -> handles
-  std::unordered_map<std::string, std::unordered_map<std::string, std::vector<Handle>>> buckets_;
-  // Filters without any equality predicate; always probed.
-  std::vector<Handle> scan_list_;
+  std::unordered_map<InternId, AttrIndex> attr_indexes_;
+  // Filters without any equality or numeric range predicate; always probed.
+  std::vector<Ref> scan_list_;
 };
 
 }  // namespace greenps

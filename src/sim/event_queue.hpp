@@ -3,17 +3,23 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/small_function.hpp"
 #include "common/units.hpp"
 
 namespace greenps {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  // Inline-storage callable: scheduling an event never heap-allocates for
+  // the closure (a too-large capture fails to compile instead of silently
+  // falling back to the heap). 80 bytes covers the simulator's largest
+  // closure (delivery: this + broker + sub + shared_ptr + hops + 2 times)
+  // with room to spare.
+  static constexpr std::size_t kActionCapacity = 80;
+  using Action = SmallFunction<void(), kActionCapacity>;
 
   void schedule(SimTime time, Action action);
 

@@ -62,6 +62,10 @@ class MetricsCollector {
  public:
   void on_broker_process(BrokerId b) { traffic_[b].msgs_in += 1; }
   void on_broker_send(BrokerId b) { traffic_[b].msgs_out += 1; }
+  // One lookup for a burst of updates: the simulator fetches a broker's
+  // counters once per publication arrival instead of hashing the id for
+  // every copy sent.
+  [[nodiscard]] BrokerTraffic& traffic_for(BrokerId b) { return traffic_[b]; }
   void on_publication() { publications_ += 1; }
   void on_delivery(BrokerId last_broker, int broker_hops, SimTime delay);
 

@@ -45,6 +45,9 @@ void Simulation::redeploy(Deployment deployment) {
     st.next_seq = seq_.try_emplace(spec.adv, 0).first->second;
     publishers_.push_back(std::move(st));
   }
+  client_hosts_.clear();
+  for (const auto& sub : deployment_.subscribers) client_hosts_.insert(sub.home);
+  for (const auto& pub : deployment_.publishers) client_hosts_.insert(pub.home);
   install_routing();
 }
 
@@ -70,6 +73,9 @@ void Simulation::install_routing() {
     for (const auto& [b, via] : toward) {
       const Hop hop = b == pub.home ? Hop::to_client(pub.client) : Hop::to_broker(via);
       broker(b).prt().insert(adv, hop);
+      // Announce to the SRT as well: it scopes matching to the candidate
+      // subscriptions intersecting this advertisement.
+      broker(b).srt().register_advertisement(pub.adv, pub.adv_filter);
     }
     broker(pub.home).cbc().register_publisher(pub.client, pub.adv);
   }
@@ -104,16 +110,18 @@ void Simulation::publish(std::size_t pub_index) {
   PublisherState& st = publishers_[pub_index];
   const SimTime now = queue_.now();
 
-  auto pub = std::make_shared<Publication>(quotes_.next(st.spec.symbol));
+  std::shared_ptr<Publication> pub = pub_pool_.acquire();
+  quotes_.next_into(st.spec.symbol, *pub);
   const MessageSeq seq = st.next_seq++;
   seq_[st.spec.adv] = st.next_seq;
   pub->set_header(st.spec.adv, seq);
   metrics_.on_publication();
-  broker(st.spec.home).cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
+  Broker& home = broker(st.spec.home);
+  home.cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
 
   const SimTime arrival = now + net_.client_latency;
-  queue_.schedule(arrival, [this, pub = std::move(pub), home = st.spec.home, now] {
-    arrive_at_broker(home, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
+  queue_.schedule(arrival, [this, pub = std::move(pub), br = &home, now] {
+    arrive_at_broker(*br, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
   });
 
   // Next publication, fixed inter-arrival spacing.
@@ -123,11 +131,12 @@ void Simulation::publish(std::size_t pub_index) {
                   [this, pub_index] { publish(pub_index); });
 }
 
-void Simulation::arrive_at_broker(BrokerId b, std::shared_ptr<const Publication> pub,
+void Simulation::arrive_at_broker(Broker& br, std::shared_ptr<const Publication> pub,
                                   BrokerId from, bool has_from, int broker_hops,
                                   SimTime publish_time) {
-  Broker& br = broker(b);
-  metrics_.on_broker_process(b);
+  const BrokerId b = br.id();
+  BrokerTraffic& traffic = metrics_.traffic_for(b);
+  traffic.msgs_in += 1;
   const int hops_here = broker_hops + 1;
 
   const SimTime service = br.matching_service_time();
@@ -137,26 +146,29 @@ void Simulation::arrive_at_broker(BrokerId b, std::shared_ptr<const Publication>
   // Routing decision is computed against current tables; the simulator's
   // tables are static during a run, so evaluating now is equivalent to
   // evaluating at matched_at and avoids copying the tables into the closure.
-  auto decision = br.route(*pub, exclude);
+  // The scratch result is consumed before this function returns (the
+  // scheduled closures don't reference it), so reuse across arrivals is safe.
+  br.route_into(*pub, exclude, route_scratch_);
+  const auto& decision = route_scratch_;
 
   const MsgSize size = pub->size_kb();
   for (const BrokerId next : decision.forward_to) {
     const SimTime sent_at = br.out_link().transmit(matched_at, size);
-    metrics_.on_broker_send(b);
+    traffic.msgs_out += 1;
     queue_.schedule(sent_at + net_.link_latency,
-                    [this, next, pub, b, hops_here, publish_time] {
-                      arrive_at_broker(next, pub, b, /*has_from=*/true, hops_here,
+                    [this, next_br = &broker(next), pub, b, hops_here, publish_time] {
+                      arrive_at_broker(*next_br, pub, b, /*has_from=*/true, hops_here,
                                        publish_time);
                     });
   }
   for (const auto& [sub_id, client] : decision.deliver) {
     const SimTime sent_at = br.out_link().transmit(matched_at, size);
-    metrics_.on_broker_send(b);
+    traffic.msgs_out += 1;
     const SimTime delivered_at = sent_at + net_.client_latency;
-    queue_.schedule(delivered_at, [this, b, sub_id = sub_id, pub, hops_here, publish_time,
-                                   delivered_at] {
+    queue_.schedule(delivered_at, [this, b, here = &br, sub_id = sub_id, pub, hops_here,
+                                   publish_time, delivered_at] {
       metrics_.on_delivery(b, hops_here, delivered_at - publish_time);
-      broker(b).cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
+      here->cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
     });
   }
 }
@@ -221,15 +233,9 @@ SimSummary Simulation::summarize() const {
       const bool no_local = it->second.local_deliveries == 0;
       // A pure forwarder processes traffic but hosts no clients and fans
       // out to at most one direction (Section V-A, Figure 4a).
-      if (no_local && deployment_.topology.neighbors(id).size() <= 2) {
-        bool hosts_client = false;
-        for (const auto& sub : deployment_.subscribers) {
-          if (sub.home == id) hosts_client = true;
-        }
-        for (const auto& pub : deployment_.publishers) {
-          if (pub.home == id) hosts_client = true;
-        }
-        if (!hosts_client) s.pure_forwarding_brokers += 1;
+      if (no_local && deployment_.topology.neighbors(id).size() <= 2 &&
+          !client_hosts_.contains(id)) {
+        s.pure_forwarding_brokers += 1;
       }
     }
   }

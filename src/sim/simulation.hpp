@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "broker/broker.hpp"
@@ -19,6 +20,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/publication_pool.hpp"
 #include "workload/stock_quote.hpp"
 
 namespace greenps {
@@ -77,6 +79,9 @@ class Simulation {
   // Total simulated seconds measured since the last metrics reset.
   [[nodiscard]] double measured_seconds() const { return measured_s_; }
 
+  // Discrete events executed since construction (bench instrumentation).
+  [[nodiscard]] std::size_t events_executed() const { return queue_.executed(); }
+
  private:
   struct PublisherState {
     PublisherSpec spec;
@@ -86,7 +91,10 @@ class Simulation {
   void install_routing();
   void schedule_publisher(std::size_t pub_index, SimTime first);
   void publish(std::size_t pub_index);
-  void arrive_at_broker(BrokerId b, std::shared_ptr<const Publication> pub,
+  // `br` is resolved at schedule time (broker storage is stable between
+  // redeploys and the queue is cleared on redeploy), saving an id lookup
+  // per hop and per delivery on the hot path.
+  void arrive_at_broker(Broker& br, std::shared_ptr<const Publication> pub,
                         BrokerId from, bool has_from, int broker_hops,
                         SimTime publish_time);
 
@@ -99,6 +107,13 @@ class Simulation {
   std::vector<PublisherState> publishers_;
   // Sequence numbers survive redeploys (bit vector counters stay in sync).
   std::unordered_map<AdvId, MessageSeq> seq_;
+  PublicationPool pub_pool_;
+  // Scratch routing decision reused across arrivals (single-threaded loop).
+  SubscriptionRoutingTable::MatchResult route_scratch_;
+  // Brokers hosting at least one client, precomputed at redeploy() so the
+  // pure-forwarder check in summarize() is O(1) per broker instead of
+  // rescanning every publisher/subscriber spec.
+  std::unordered_set<BrokerId> client_hosts_;
   double measured_s_ = 0;
   bool publishers_scheduled_ = false;
 };

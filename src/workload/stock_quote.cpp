@@ -40,6 +40,12 @@ double StockQuoteGenerator::reference_price(const std::string& symbol) {
 }
 
 Publication StockQuoteGenerator::next(const std::string& symbol) {
+  Publication p;
+  next_into(symbol, p);
+  return p;
+}
+
+void StockQuoteGenerator::next_into(const std::string& symbol, Publication& out) {
   SymbolState& s = state_for(symbol);
   const double open = s.close > 0 ? s.close : 10.0;
   // Geometric random walk for the close.
@@ -52,23 +58,22 @@ Publication StockQuoteGenerator::next(const std::string& symbol) {
   const double low = round2(std::max(0.01, std::min(open, close) * (1.0 - spread_lo)));
   const auto volume = s.rng.uniform_int(config_.min_volume, config_.max_volume);
 
-  Publication p;
-  p.set_attr("class", Value(std::string("STOCK")));
-  p.set_attr("symbol", Value(symbol));
-  p.set_attr("open", Value(round2(open)));
-  p.set_attr("high", Value(high));
-  p.set_attr("low", Value(low));
-  p.set_attr("close", Value(close));
-  p.set_attr("volume", Value(volume));
-  p.set_attr("date", Value(format_date(s.day)));
-  p.set_attr("openClose%Diff", Value(round3(open > 0 ? (close - open) / open : 0.0)));
-  p.set_attr("highLow%Diff", Value(round3(high > 0 ? (high - low) / high : 0.0)));
-  p.set_attr("closeEqualsLow", Value(std::string(close == low ? "true" : "false")));
-  p.set_attr("closeEqualsHigh", Value(std::string(close == high ? "true" : "false")));
+  out.clear();
+  out.set_attr("class", Value(std::string("STOCK")));
+  out.set_attr("symbol", Value(symbol));
+  out.set_attr("open", Value(round2(open)));
+  out.set_attr("high", Value(high));
+  out.set_attr("low", Value(low));
+  out.set_attr("close", Value(close));
+  out.set_attr("volume", Value(volume));
+  out.set_attr("date", Value(format_date(s.day)));
+  out.set_attr("openClose%Diff", Value(round3(open > 0 ? (close - open) / open : 0.0)));
+  out.set_attr("highLow%Diff", Value(round3(high > 0 ? (high - low) / high : 0.0)));
+  out.set_attr("closeEqualsLow", Value(std::string(close == low ? "true" : "false")));
+  out.set_attr("closeEqualsHigh", Value(std::string(close == high ? "true" : "false")));
 
   s.close = close;
   s.day += 1;
-  return p;
 }
 
 }  // namespace greenps

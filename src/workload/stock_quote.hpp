@@ -38,6 +38,9 @@ class StockQuoteGenerator {
   // Next daily quote for `symbol` (publication header left unset; the
   // publisher client stamps adv ID and sequence number).
   [[nodiscard]] Publication next(const std::string& symbol);
+  // In-place variant for pooled publications: clears `out` and fills it with
+  // the next quote, reusing its attribute storage.
+  void next_into(const std::string& symbol, Publication& out);
 
   // Current walk price for a symbol (useful for generating subscription
   // thresholds that actually select a fraction of the stream).
