@@ -16,6 +16,7 @@
 #include "alloc/bin_packing.hpp"
 #include "alloc/fbf.hpp"
 #include "bench_util.hpp"
+#include "profile/union_profile.hpp"
 #include "sweep_common.hpp"
 
 using namespace greenps;
@@ -33,10 +34,12 @@ double time_of(const std::function<void()>& fn) {
 int main() {
   const BenchBudget budget;
   HarnessConfig cfg = homogeneous_base();
-  cfg.scenario.subs_per_publisher = full_scale() ? 200 : 100;
+  cfg.scenario.subs_per_publisher = full_scale() ? 200 : tiny_scale() ? 15 : 100;
   const std::size_t total = cfg.scenario.subs_per_publisher * cfg.scenario.num_publishers;
   std::printf("E6: Phase-2 computation time, %zu subscriptions %s\n\n", total,
-              full_scale() ? "[FULL SCALE]" : "[reduced scale]");
+              full_scale()   ? "[FULL SCALE]"
+              : tiny_scale() ? "[tiny/smoke scale]"
+                             : "[reduced scale]");
 
   // Gather once from a profiled deployment.
   Simulation sim = make_simulation(cfg.scenario);
@@ -97,8 +100,12 @@ int main() {
     CramOptions opts;
     opts.metric = m;
     CramResult r;
+    UnionProfile::reset_probe_walks();
     const double t =
         time_of([&] { r = cram_allocate(pool, units, info.publisher_table, opts); });
+    // Union-rate walks by this thread (complete when threads == 1; worker
+    // threads keep their own counters).
+    const std::size_t walks = UnionProfile::probe_walks();
     if (m == ClosenessMetric::kXor) {
       xor_time = t;
     } else {
@@ -120,6 +127,13 @@ int main() {
                             .set_integer("allocation_runs", r.stats.allocation_runs)
                             .set_integer("threads", r.stats.threads_used)
                             .set_number("poset_build_seconds", r.stats.poset_build_seconds)
+                            .set_number("probe_seconds", r.stats.probe_seconds)
+                            .set_number("pair_search_seconds", r.stats.pair_search_seconds)
+                            .set_integer("probe_units_packed", r.stats.probe_units_packed)
+                            .set_integer("probe_units_skipped", r.stats.probe_units_skipped)
+                            .set_integer("main_thread_probe_walks", walks)
+                            .set_integer("base_rebuilds", r.stats.base_rebuilds)
+                            .set_integer("speculative_probes", r.stats.speculative_probes)
                             .render());
   }
   if (xor_time > 0 && prunable_max > 0) {

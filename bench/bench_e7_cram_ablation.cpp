@@ -43,8 +43,9 @@ int main() {
   }
 
   // --- opt 2 + 3 grid ---
-  const std::vector<int> widths = {22, 10, 10, 16, 12, 10};
-  print_row({"variant", "brokers", "clusters", "closeness-comps", "one-to-many", "time(s)"},
+  const std::vector<int> widths = {22, 10, 10, 16, 12, 10, 10, 10};
+  print_row({"variant", "brokers", "clusters", "closeness-comps", "one-to-many", "time(s)",
+             "probe(s)", "search(s)"},
             widths);
   struct Variant {
     const char* name;
@@ -64,7 +65,8 @@ int main() {
     print_row({v.name, std::to_string(r.allocation.brokers_used()),
                std::to_string(r.allocation.unit_count()),
                std::to_string(r.stats.closeness_computations),
-               std::to_string(r.stats.one_to_many_applied), fmt(r.stats.total_seconds, 3)},
+               std::to_string(r.stats.one_to_many_applied), fmt(r.stats.total_seconds, 3),
+               fmt(r.stats.probe_seconds, 3), fmt(r.stats.pair_search_seconds, 3)},
               widths);
   }
 
@@ -78,7 +80,8 @@ int main() {
     print_row({"no optimizations", std::to_string(r.allocation.brokers_used()),
                std::to_string(r.allocation.unit_count()),
                std::to_string(r.stats.closeness_computations), "0",
-               fmt(r.stats.total_seconds, 3)},
+               fmt(r.stats.total_seconds, 3), fmt(r.stats.probe_seconds, 3),
+               fmt(r.stats.pair_search_seconds, 3)},
               widths);
   }
 

@@ -11,23 +11,58 @@ void sort_by_capacity_desc(std::vector<AllocBroker>& brokers) {
   });
 }
 
-bool BrokerLoad::fits(const SubUnit& u, const PublisherTable& table) const {
-  // Output bandwidth: remaining must stay strictly positive.
+bool BrokerLoad::admissible(const SubUnit& u, MsgRate* rate_out) const {
+  // Output bandwidth: remaining must stay strictly positive (checked first —
+  // a bandwidth reject costs no union walk).
   if (broker_.out_bw - (used_bw_ + u.out_bw) <= 0) return false;
   // Input rate of the union of hosted profiles, computed incrementally:
-  // r(U ∪ u) = r(U) + r(u) − r(U ∩ u).
-  const MsgRate new_in =
-      in_rate_ + u.in_rate - SubscriptionProfile::intersection_rate(union_profile_, u.profile, table);
+  // r(U ∪ u) = r(U) + r(u) − r(U ∩ u). The association (in_rate_ + u.in_rate)
+  // − rate matches the historical fits() expression exactly so accept
+  // decisions stay bit-identical.
+  const MsgRate rate = union_.intersection_rate(u.profile);
+  *rate_out = rate;
+  const MsgRate new_in = in_rate_ + u.in_rate - rate;
   const std::size_t new_filters = filter_count_ + u.filter_count;
   return new_in <= broker_.delay.max_matching_rate(new_filters);
 }
 
+bool BrokerLoad::fits(const SubUnit& u, const PublisherTable& table) const {
+  (void)table;
+  MsgRate rate = 0;
+  return admissible(u, &rate);
+}
+
+bool BrokerLoad::try_add(const SubUnit& u, const PublisherTable& table) {
+  if (broker_.out_bw - (used_bw_ + u.out_bw) <= 0) return false;
+  const MsgRate sum = in_rate_ + u.in_rate;
+  const std::size_t new_filters = filter_count_ + u.filter_count;
+  const MsgRate thresh = broker_.delay.max_matching_rate(new_filters);
+  MsgRate rate;
+  if (sum <= thresh) {
+    // Every intersection term is >= 0, so new_in = sum − rate <= sum (IEEE
+    // subtraction of a non-negative value never rounds above a representable
+    // bound) — the unit provably fits and one fused walk both decides and
+    // accounts, with the identical rate value and association the slow path
+    // would produce.
+    rate = union_.merge_with_rate(u.profile, table);
+  } else {
+    rate = union_.intersection_rate(u.profile);
+    // Same expression and association as the historical fits().
+    if (in_rate_ + u.in_rate - rate > thresh) return false;
+    union_.merge(u.profile, table);
+  }
+  // Accounting matches the historical add(): in_rate_ += (u.in_rate − rate).
+  in_rate_ += u.in_rate - rate;
+  used_bw_ += u.out_bw;
+  filter_count_ += u.filter_count;
+  unit_count_ += 1;
+  if (keep_units_) units_.push_back(u);
+  return true;
+}
+
 void BrokerLoad::add(const SubUnit& u, const PublisherTable& table) {
-  // Incremental union rate (same formula as fits(), so accept decisions and
-  // accounting agree): r(U ∪ u) = r(U) + r(u) − r(U ∩ u).
-  in_rate_ +=
-      u.in_rate - SubscriptionProfile::intersection_rate(union_profile_, u.profile, table);
-  union_profile_.merge(u.profile);
+  // Caller checked fits(); merge and account in one fused walk.
+  in_rate_ += u.in_rate - union_.merge_with_rate(u.profile, table);
   used_bw_ += u.out_bw;
   filter_count_ += u.filter_count;
   unit_count_ += 1;

@@ -7,6 +7,7 @@
 #include "common/ids.hpp"
 #include "matching/delay_model.hpp"
 #include "profile/sub_unit.hpp"
+#include "profile/union_profile.hpp"
 
 namespace greenps {
 
@@ -24,7 +25,12 @@ void sort_by_capacity_desc(std::vector<AllocBroker>& brokers);
 
 // Load assigned to one broker during an allocation run. Tracks the union
 // profile of hosted units so the incoming publication rate counts shared
-// traffic once.
+// traffic once. The union is kept flat (UnionProfile) so the allocation
+// test is a single two-pointer walk, and the whole state is cheap to
+// snapshot for checkpointed probe resume.
+//
+// The publisher table passed to fits/add/try_add must be the same table for
+// the lifetime of one load (publisher pointers are resolved once on merge).
 class BrokerLoad {
  public:
   // `keep_units=false` turns the load into a dry-run accumulator: capacity
@@ -38,7 +44,13 @@ class BrokerLoad {
   // exceed the maximum matching rate at the new filter count.
   [[nodiscard]] bool fits(const SubUnit& u, const PublisherTable& table) const;
 
-  // Accept `u` (caller checked fits()).
+  // Fused allocation test + accept: one union-rate walk decides and, on
+  // success, accounts (fits() + add() cost two). Returns false with the
+  // state untouched if `u` does not fit.
+  bool try_add(const SubUnit& u, const PublisherTable& table);
+
+  // Accept `u` unconditionally (caller checked fits()) — one fused
+  // merge_with_rate walk.
   void add(const SubUnit& u, const PublisherTable& table);
 
   [[nodiscard]] const AllocBroker& broker() const { return broker_; }
@@ -48,7 +60,11 @@ class BrokerLoad {
   [[nodiscard]] Bandwidth remaining_bw() const { return broker_.out_bw - used_bw_; }
   [[nodiscard]] MsgRate in_rate() const { return in_rate_; }
   [[nodiscard]] std::size_t filter_count() const { return filter_count_; }
-  [[nodiscard]] const SubscriptionProfile& union_profile() const { return union_profile_; }
+  // Materialized union of hosted profiles (Phase-3 child-broker units).
+  [[nodiscard]] SubscriptionProfile union_profile() const {
+    return union_.to_subscription_profile();
+  }
+  [[nodiscard]] const UnionProfile& union_view() const { return union_; }
   [[nodiscard]] bool empty() const { return unit_count_ == 0; }
 
   // Fraction of output bandwidth in use.
@@ -57,9 +73,14 @@ class BrokerLoad {
   }
 
  private:
+  // The allocation test's incoming-rate value for accepting `u`; quiet NaN
+  // is never produced (rates are finite), so a sentinel is unnecessary —
+  // the caller re-checks the bound.
+  [[nodiscard]] bool admissible(const SubUnit& u, MsgRate* rate_out) const;
+
   AllocBroker broker_;
   std::vector<SubUnit> units_;
-  SubscriptionProfile union_profile_;
+  UnionProfile union_;
   Bandwidth used_bw_ = 0;
   MsgRate in_rate_ = 0;
   std::size_t filter_count_ = 0;

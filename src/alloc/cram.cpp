@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -45,15 +46,66 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Left-fold cache for the k-search merged units: upto(m) is `seed`
+// clustered, left to right, with arr[0..m). Each prefix is computed once by
+// extending the longest cached shorter prefix, so the association order —
+// and therefore every float in the merged unit — exactly matches the plain
+// sequential fold the search used to recompute per midpoint. Map storage
+// keeps references stable while parallel probes read already-computed
+// prefixes; extension itself must stay on the calling thread.
+class PrefixFold {
+ public:
+  PrefixFold(SubUnit seed, const SubUnit* arr, const PublisherTable& table)
+      : arr_(arr), table_(table) {
+    memo_.emplace(0, std::move(seed));
+  }
+
+  const SubUnit& upto(std::size_t m) {
+    auto it = memo_.lower_bound(m);
+    if (it != memo_.end() && it->first == m) return it->second;
+    --it;  // memo_ always holds key 0
+    std::size_t k = it->first;
+    const SubUnit* cur = &it->second;
+    while (k < m) {
+      SubUnit next = cluster_units(*cur, arr_[k], table_);
+      ++k;
+      cur = &memo_.emplace(k, std::move(next)).first->second;
+    }
+    return *cur;
+  }
+
+ private:
+  const SubUnit* arr_;
+  const PublisherTable& table_;
+  std::map<std::size_t, SubUnit> memo_;
+};
+
 class CramRun {
  public:
   CramRun(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
           const PublisherTable& table, const CramOptions& opts)
       : pool_(std::move(pool)), table_(table), opts_(opts),
+        packer_(pool_, opts.probe_checkpoint_stride),
         threads_(ThreadPool::resolve(opts.threads)) {
     sort_by_capacity_desc(pool_);
     stats_.initial_units = units.size();
     stats_.threads_used = threads_;
+    // Speculation depth for the parallel k-search: the deepest level count
+    // whose frontier (2^L − 1 midpoints) still resolves more decision
+    // levels per parallel round than a sequential probe would — with few
+    // threads the speculative waste outweighs the depth and L stays 0.
+    if (threads_ > 1) {
+      double best_rate = 1.0;  // sequential: one level per probe round
+      for (std::size_t l = 2; l <= 4; ++l) {
+        const std::size_t probes = (std::size_t{1} << l) - 1;
+        const auto rounds = static_cast<double>((probes + threads_ - 1) / threads_);
+        const double rate = static_cast<double>(l) / rounds;
+        if (rate > best_rate) {
+          best_rate = rate;
+          spec_levels_ = l;
+        }
+      }
+    }
     std::vector<Gif> grouped = opts_.gif_grouping ? group_identical_filters(std::move(units))
                                                   : singleton_gifs(std::move(units));
     stats_.gif_count = grouped.size();
@@ -98,7 +150,9 @@ class CramRun {
     }
 
     while (stats_.iterations < opts_.max_iterations) {
+      const auto ts = Clock::now();
       refresh_dirty();
+      stats_.pair_search_seconds += seconds_since(ts);
       const auto pick = pick_global_best();
       if (!pick) break;
       ++stats_.iterations;
@@ -167,87 +221,190 @@ class CramRun {
 
   // ---- allocation probes ----
   //
-  // CRAM's allocation test is a copy-free BIN PACKING feasibility probe.
-  // The sorted unit-pointer vector it packs is cached across probes and
-  // invalidated only when a clustering actually commits; tentative
-  // clusterings are probed through an overlay (cached vector minus the
-  // units being merged, plus the merged unit spliced in at its sort
-  // position) without mutating any GIF, which removes the rebuild+re-sort
-  // and the save/restore GIF copies from every rejected or probing step.
+  // CRAM's allocation test is a BIN PACKING feasibility probe served by an
+  // incremental packer (CheckpointedFirstFit): the committed unit set is
+  // packed once into a checkpointed base, and every tentative clustering is
+  // probed as an overlay (base minus the units being merged, plus the
+  // merged unit spliced in at its sort position) resumed from the nearest
+  // checkpoint before the overlay's first divergence from the base. No GIF
+  // is mutated by a probe, so rejected clusterings have nothing to restore,
+  // and a commit's winning probe already packed exactly the next base — it
+  // is adopted outright, so commits re-pack nothing at all.
 
-  void invalidate_probe_units() { probe_units_valid_ = false; }
+  // Unknown divergence: the next rebuild packs from scratch.
+  void invalidate_base() {
+    if (base_valid_) pending_resume_ = 0;
+    base_valid_ = false;
+  }
 
-  const std::vector<const SubUnit*>& probe_base() {
-    if (!probe_units_valid_) {
-      probe_units_.clear();
-      std::size_t total = 0;
-      for (const auto& [id, g] : gifs_) {
-        (void)id;
-        total += g.units.size();
-      }
-      probe_units_.reserve(total);
-      for (const auto& [id, g] : gifs_) {
-        (void)id;
-        for (const SubUnit& u : g.units) probe_units_.push_back(&u);
-      }
-      sort_units_by_bandwidth_desc(probe_units_);
-      probe_units_valid_ = true;
+  // A committed overlay: the winning probe's packing IS the next base, so
+  // record it for adoption — the next ensure_base installs it without
+  // packing a single unit. Checkpoints before the divergence position stay
+  // valid. Must run while the base is still valid and `removed` still
+  // points into live GIF unit vectors — i.e. before the commit erases
+  // anything.
+  void commit_base(const std::vector<UnitRange>& removed, const SubUnit* added,
+                   const PackProbe& winning) {
+    const std::size_t pos = packer_.divergence_position(removed, added);
+    pending_resume_ = base_valid_ ? pos : std::min(pending_resume_, pos);
+    base_valid_ = false;
+    adopted_ = winning;
+    have_adopted_ = true;
+  }
+
+  void ensure_base() {
+    if (base_valid_) return;
+    const auto t0 = Clock::now();
+    std::size_t total = 0;
+    for (const auto& [id, g] : gifs_) {
+      (void)id;
+      total += g.units.size();
     }
-    return probe_units_;
+    std::vector<const SubUnit*> units;
+    units.reserve(total);
+    for (const auto& [id, g] : gifs_) {
+      (void)id;
+      for (const SubUnit& u : g.units) units.push_back(&u);
+    }
+    if (have_adopted_) {
+      // The unit multiset is exactly the committed overlay the adopted probe
+      // packed (base − removed + merged), so no packing is needed.
+      packer_.adopt(std::move(units), pending_resume_, adopted_);
+      have_adopted_ = false;
+    } else {
+      const PackProbe& base = packer_.rebuild(std::move(units), table_, pending_resume_);
+      ++stats_.base_rebuilds;
+      count_probe_work(base);
+    }
+    pending_resume_ = 0;
+    base_valid_ = true;
+    stats_.probe_seconds += seconds_since(t0);
+  }
+
+  void count_probe_work(const PackProbe& p) {
+    stats_.probe_units_packed += p.units_packed;
+    stats_.probe_units_skipped += p.units_skipped;
   }
 
   // Broker minimization is CRAM's primary objective, so a clustering whose
   // re-packed allocation needs MORE brokers than the last recorded scheme
   // also fails (clusters are indivisible and can fragment FFD packing).
-  PackProbe finish_probe(const std::vector<const SubUnit*>& units) {
-    ++stats_.allocation_runs;
-    // pool_ was capacity-sorted once in the constructor and never changes.
-    PackProbe probe = first_fit_probe(pool_, units, table_);
+  PackProbe gate(PackProbe probe) const {
     if (probe.success && best_brokers_ > 0 && probe.brokers_used > best_brokers_) {
       probe.success = false;
     }
     return probe;
   }
 
-  PackProbe probe_allocation() { return finish_probe(probe_base()); }
-
-  // Units in [first, last) are excluded from an overlay probe. The excluded
-  // units of every clustering are contiguous prefixes of GIF unit vectors,
-  // so ranges (not per-unit sets) keep the skip test O(#gifs involved).
-  struct UnitRange {
-    const SubUnit* first = nullptr;
-    const SubUnit* last = nullptr;
-  };
+  PackProbe probe_allocation() {
+    ensure_base();
+    ++stats_.allocation_runs;
+    return gate(packer_.base());
+  }
 
   PackProbe probe_replacement(const std::vector<UnitRange>& removed, const SubUnit& added) {
-    const std::vector<const SubUnit*>& base = probe_base();
-    probe_scratch_.clear();
-    probe_scratch_.reserve(base.size() + 1);
-    const SubUnit* add = &added;
-    for (const SubUnit* u : base) {
-      bool skip = false;
-      for (const UnitRange& r : removed) {
-        if (u >= r.first && u < r.last) {
-          skip = true;
-          break;
+    ensure_base();
+    const auto t0 = Clock::now();
+    const PackProbe raw = packer_.probe_replacement(removed, &added, table_, probe_scratch_);
+    stats_.probe_seconds += seconds_since(t0);
+    ++stats_.allocation_runs;
+    count_probe_work(raw);
+    return gate(raw);
+  }
+
+  // One accounted decision-path probe of `probe_at` (see search_max).
+  template <typename ProbeAt>
+  PackProbe decision_probe(std::size_t k, const ProbeAt& probe_at) {
+    const auto t0 = Clock::now();
+    const PackProbe raw = probe_at(k, probe_scratch_);
+    stats_.probe_seconds += seconds_since(t0);
+    ++stats_.allocation_runs;
+    count_probe_work(raw);
+    return gate(raw);
+  }
+
+  // Binary search for the largest value in [lo, hi] whose overlay still
+  // allocates, given that `lo` already passed with `winning`.
+  //
+  // probe_at(k, scratch) must be a pure raw (ungated) overlay probe and
+  // materialize(k) must prepare its merged unit; with enough threads, the
+  // midpoints of the next spec_levels_ decision levels are evaluated
+  // speculatively in parallel (probes only read the base packing and
+  // per-worker scratch), and the decision path is then replayed out of the
+  // batch — so the result, the gate decisions and all decision-path
+  // accounting are exactly the sequential ones for every thread count.
+  template <typename Materialize, typename ProbeAt>
+  std::size_t search_max(std::size_t lo, std::size_t hi, PackProbe& winning,
+                         const Materialize& materialize, const ProbeAt& probe_at) {
+    auto consume = [&](const PackProbe& raw, std::size_t mid) {
+      ++stats_.allocation_runs;
+      count_probe_work(raw);
+      const PackProbe gated = gate(raw);
+      if (gated.success) {
+        lo = mid;
+        winning = gated;
+      } else {
+        hi = mid - 1;
+      }
+    };
+    while (lo < hi) {
+      if (spec_levels_ < 2 || hi - lo < 2) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        materialize(mid);
+        const auto t0 = Clock::now();
+        const PackProbe raw = probe_at(mid, probe_scratch_);
+        stats_.probe_seconds += seconds_since(t0);
+        consume(raw, mid);
+        continue;
+      }
+      // Frontier of every state reachable within spec_levels_ decisions.
+      std::vector<std::size_t> mids;
+      std::vector<std::pair<std::size_t, std::size_t>> frontier{{lo, hi}};
+      for (std::size_t level = 0; level < spec_levels_ && !frontier.empty(); ++level) {
+        std::vector<std::pair<std::size_t, std::size_t>> next;
+        for (const auto& [a, b] : frontier) {
+          if (a >= b) continue;
+          const std::size_t mid = a + (b - a + 1) / 2;
+          mids.push_back(mid);
+          next.emplace_back(mid, b);      // if the probe at mid succeeds
+          next.emplace_back(a, mid - 1);  // if it fails
         }
+        frontier = std::move(next);
       }
-      if (skip) continue;
-      if (add != nullptr && unit_order_less(*add, *u)) {
-        probe_scratch_.push_back(add);
-        add = nullptr;
+      std::sort(mids.begin(), mids.end());
+      mids.erase(std::unique(mids.begin(), mids.end()), mids.end());
+      // Merged units are fold extensions — serialize them before the batch
+      // so the parallel probes perform read-only lookups.
+      for (const std::size_t mid : mids) materialize(mid);
+      if (!workers_) workers_ = std::make_unique<ThreadPool>(threads_);
+      if (spec_scratch_.size() < workers_->size()) spec_scratch_.resize(workers_->size());
+      std::vector<PackProbe> raw(mids.size());
+      const auto t0 = Clock::now();
+      workers_->parallel_for_indexed(mids.size(), [&](std::size_t i, std::size_t slot) {
+        raw[i] = probe_at(mids[i], spec_scratch_[slot]);
+      });
+      stats_.probe_seconds += seconds_since(t0);
+      // Replay the decision path out of the batch.
+      std::size_t used = 0;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        const auto it = std::lower_bound(mids.begin(), mids.end(), mid);
+        if (it == mids.end() || *it != mid) break;  // beyond the batched levels
+        ++used;
+        consume(raw[static_cast<std::size_t>(it - mids.begin())], mid);
       }
-      probe_scratch_.push_back(u);
+      stats_.speculative_probes += mids.size() - used;
     }
-    if (add != nullptr) probe_scratch_.push_back(add);
-    return finish_probe(probe_scratch_);
+    return lo;
   }
 
   // Register a brand-new gif holding `unit` (profile may equal an existing
   // gif's, in which case the unit joins that gif). Returns the gif id the
   // unit ended up in.
   std::uint64_t commit_new_unit(SubUnit unit) {
-    invalidate_probe_units();
+    // Keeps any divergence hint a commit already recorded: the new unit
+    // splices in at (or after) that position, so earlier checkpoints hold.
+    invalidate_base();
     if (opts_.poset_pruning) {
       const std::uint64_t id = next_id_++;
       const auto ins = poset_.insert(unit.profile, id);
@@ -292,7 +449,9 @@ class CramRun {
   }
 
   void remove_gif(std::uint64_t id) {
-    invalidate_probe_units();
+    // Only ever called for GIFs whose units were already erased (and
+    // accounted in a divergence hint), so the hint survives.
+    invalidate_base();
     if (opts_.poset_pruning) {
       const auto it = node_of_.find(id);
       if (it != node_of_.end()) {
@@ -447,39 +606,29 @@ class CramRun {
     Gif& g = gif(gid);
     const std::size_t n = g.units.size();
     assert(n >= 2);
-    auto merged_k = [&](std::size_t k) -> SubUnit {
-      SubUnit merged = g.units[0];
-      for (std::size_t i = 1; i < k; ++i) merged = cluster_units(merged, g.units[i], table_);
-      return merged;
+    ensure_base();
+    // merged(k) = the k lightest units folded left to right — cached as
+    // fold prefixes: upto(k − 1) is units[0] clustered with units[1..k).
+    PrefixFold fold(g.units[0], g.units.data() + 1, table_);
+    auto materialize = [&](std::size_t k) { (void)fold.upto(k - 1); };
+    auto probe_at = [&](std::size_t k, CheckpointedFirstFit::Scratch& scratch) {
+      return packer_.probe_replacement({{g.units.data(), g.units.data() + k}},
+                                       &fold.upto(k - 1), table_, scratch);
     };
-    auto test_k = [&](std::size_t k) -> PackProbe {
-      const SubUnit merged = merged_k(k);
-      return probe_replacement({{g.units.data(), g.units.data() + k}}, merged);
-    };
-    PackProbe winning = test_k(2);  // doubles as the feasibility gate
+    materialize(2);
+    PackProbe winning = decision_probe(2, probe_at);  // doubles as the feasibility gate
     if (!winning.success) {
       ++stats_.clusterings_rejected;
       add_blacklist(gid, gid);
       return;
     }
-    std::size_t lo = 2;
-    std::size_t hi = n;
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo + 1) / 2;
-      const PackProbe probe = test_k(mid);
-      if (probe.success) {
-        lo = mid;
-        winning = probe;
-      } else {
-        hi = mid - 1;
-      }
-    }
+    const std::size_t lo = search_max(2, n, winning, materialize, probe_at);
     // Commit k = lo.
-    SubUnit merged = merged_k(lo);
+    SubUnit merged = fold.upto(lo - 1);
+    commit_base({{g.units.data(), g.units.data() + lo}}, &merged, winning);
     g.units.erase(g.units.begin(), g.units.begin() + static_cast<std::ptrdiff_t>(lo));
     g.units.push_back(std::move(merged));
     g.sort_units();
-    invalidate_probe_units();
     best_brokers_ = winning.brokers_used;
     ++stats_.clusterings_applied;
     dirty_.insert(gid);
@@ -519,17 +668,17 @@ class CramRun {
     Gif& ga = gif(a);
     Gif& gb = gif(b);
     SubUnit merged = cluster_units(ga.units.front(), gb.units.front(), table_);
-    const PackProbe probe = probe_replacement(
-        {{ga.units.data(), ga.units.data() + 1}, {gb.units.data(), gb.units.data() + 1}},
-        merged);
+    const std::vector<UnitRange> removed{
+        {ga.units.data(), ga.units.data() + 1}, {gb.units.data(), gb.units.data() + 1}};
+    const PackProbe probe = probe_replacement(removed, merged);
     if (!probe.success) {
       ++stats_.clusterings_rejected;
       add_blacklist(a, b);
       return;
     }
+    commit_base(removed, &merged, probe);
     ga.units.erase(ga.units.begin());
     gb.units.erase(gb.units.begin());
-    invalidate_probe_units();
     best_brokers_ = probe.brokers_used;
     ++stats_.clusterings_applied;
     if (ga.units.empty()) {
@@ -551,43 +700,33 @@ class CramRun {
     Gif& cover = gif(cover_id);
     Gif& covered = gif(covered_id);
     const std::size_t n = covered.units.size();
-    auto merged_m = [&](std::size_t m) -> SubUnit {
-      SubUnit merged = cover.units.front();
-      for (std::size_t i = 0; i < m; ++i) merged = cluster_units(merged, covered.units[i], table_);
-      return merged;
+    ensure_base();
+    // merged(m) = cover's lightest folded with covered's m lightest; the
+    // profile never changes (covered ⊆ cover), only the unit load does.
+    PrefixFold fold(cover.units.front(), covered.units.data(), table_);
+    auto materialize = [&](std::size_t m) { (void)fold.upto(m); };
+    auto probe_at = [&](std::size_t m, CheckpointedFirstFit::Scratch& scratch) {
+      return packer_.probe_replacement({{cover.units.data(), cover.units.data() + 1},
+                                        {covered.units.data(), covered.units.data() + m}},
+                                       &fold.upto(m), table_, scratch);
     };
-    auto test_m = [&](std::size_t m) -> PackProbe {
-      const SubUnit merged = merged_m(m);  // profile unchanged: covered ⊆ cover
-      return probe_replacement(
-          {{cover.units.data(), cover.units.data() + 1},
-           {covered.units.data(), covered.units.data() + m}},
-          merged);
-    };
-    PackProbe winning = test_m(1);  // doubles as the feasibility gate
+    materialize(1);
+    PackProbe winning = decision_probe(1, probe_at);  // doubles as the feasibility gate
     if (!winning.success) {
       ++stats_.clusterings_rejected;
       add_blacklist(cover_id, covered_id);
       return;
     }
-    std::size_t lo = 1;
-    std::size_t hi = n;
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo + 1) / 2;
-      const PackProbe probe = test_m(mid);
-      if (probe.success) {
-        lo = mid;
-        winning = probe;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    SubUnit merged = merged_m(lo);
+    const std::size_t lo = search_max(1, n, winning, materialize, probe_at);
+    SubUnit merged = fold.upto(lo);
+    commit_base({{cover.units.data(), cover.units.data() + 1},
+                 {covered.units.data(), covered.units.data() + lo}},
+                &merged, winning);
     cover.units.erase(cover.units.begin());
     covered.units.erase(covered.units.begin(),
                         covered.units.begin() + static_cast<std::ptrdiff_t>(lo));
     cover.units.push_back(std::move(merged));
     cover.sort_units();
-    invalidate_probe_units();
     best_brokers_ = winning.brokers_used;
     ++stats_.clusterings_applied;
     dirty_.insert(cover_id);
@@ -682,6 +821,7 @@ class CramRun {
     if (!probe.success) {
       return false;  // fall back to the pairwise merge (no blacklist)
     }
+    commit_base(removed, &merged, probe);
     parent.units.erase(parent.units.begin());
     for (const std::uint64_t cid : chosen) {
       Gif& cg = gif(cid);
@@ -689,7 +829,6 @@ class CramRun {
     }
     parent.units.push_back(std::move(merged));
     parent.sort_units();
-    invalidate_probe_units();
     best_brokers_ = probe.brokers_used;
     ++stats_.clusterings_applied;
     ++stats_.one_to_many_applied;
@@ -716,12 +855,19 @@ class CramRun {
   std::unordered_map<std::uint64_t, Candidate> best_;
   std::unordered_set<std::uint64_t> dirty_;
   std::size_t best_brokers_ = 0;
-  // Allocation-probe cache (see "allocation probes" above).
-  std::vector<const SubUnit*> probe_units_;
-  std::vector<const SubUnit*> probe_scratch_;
-  bool probe_units_valid_ = false;
-  // Pair-search worker pool, created on first parallel refresh.
+  // Incremental allocation probe (see "allocation probes" above). Declared
+  // after pool_ — the packer copies it before the ctor body sorts it (the
+  // packer capacity-sorts its own copy).
+  CheckpointedFirstFit packer_;
+  CheckpointedFirstFit::Scratch probe_scratch_;
+  std::vector<CheckpointedFirstFit::Scratch> spec_scratch_;  // one per worker slot
+  bool base_valid_ = false;
+  std::size_t pending_resume_ = 0;
+  PackProbe adopted_;  // winning probe of the last committed overlay
+  bool have_adopted_ = false;
+  // Worker pool (pair search + speculative k-search), created on first use.
   std::size_t threads_ = 1;
+  std::size_t spec_levels_ = 0;  // k-search speculation depth; 0 = sequential
   std::unique_ptr<ThreadPool> workers_;
 };
 

@@ -163,6 +163,16 @@ bool BitVector::contains(const BitVector& sup, std::size_t sup_off,
   return true;
 }
 
+std::ptrdiff_t BitVector::highest_set() const {
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0) {
+      const auto top = kWordBits - 1 - static_cast<std::size_t>(std::countl_zero(words_[i]));
+      return static_cast<std::ptrdiff_t>(i * kWordBits + top);
+    }
+  }
+  return -1;
+}
+
 std::size_t BitVector::count_range(std::size_t from, std::size_t len) const {
   if (from >= bits_) return 0;
   len = std::min(len, bits_ - from);

@@ -64,6 +64,11 @@ class BitVector {
   // Number of set bits in [from, from+len) (clamped to size).
   [[nodiscard]] std::size_t count_range(std::size_t from, std::size_t len) const;
 
+  // Index of the highest set bit, or -1 when no bit is set — a word-level
+  // scan from the top (the window-merge hot path needs the newest recorded
+  // publication without a per-bit walk).
+  [[nodiscard]] std::ptrdiff_t highest_set() const;
+
   friend bool operator==(const BitVector&, const BitVector&) = default;
 
  private:

@@ -90,7 +90,10 @@ bool WindowedBitVector::covers(const WindowedBitVector& sup, const WindowedBitVe
 }
 
 void WindowedBitVector::merge(const WindowedBitVector& other) {
-  if (!other.anchored_ || other.count() == 0) {
+  // Newest set bit of `other` (the merge must slide this window far enough
+  // to hold it); -1 doubles as the emptiness check.
+  const std::ptrdiff_t highest = other.anchored_ ? other.bits_.highest_set() : -1;
+  if (highest < 0) {
     if (!anchored_ && other.anchored_) {
       first_id_ = other.first_id_;
       anchored_ = true;
@@ -101,15 +104,7 @@ void WindowedBitVector::merge(const WindowedBitVector& other) {
     first_id_ = other.first_id_;
     anchored_ = true;
   }
-  // Slide so the newest set bit of `other` fits.
-  MessageSeq newest = other.first_id_;
-  for (MessageSeq s = other.end_id() - 1; s >= other.first_id_; --s) {
-    if (other.test_seq(s)) {
-      newest = s;
-      break;
-    }
-  }
-  slide_to_hold(newest);
+  slide_to_hold(other.first_id_ + static_cast<MessageSeq>(highest));
   const MessageSeq lo = std::max(first_id_, other.first_id_);
   const MessageSeq hi = std::min(end_id(), other.end_id());
   if (hi <= lo) return;

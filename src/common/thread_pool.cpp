@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t total = resolve(threads);
   workers_.reserve(total - 1);
   for (std::size_t i = 1; i < total; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,14 +26,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn, std::size_t n) {
+void ThreadPool::run_indices(const std::function<void(std::size_t, std::size_t)>& fn,
+                             std::size_t n, std::size_t slot) {
   for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
        i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    fn(i);
+    fn(i, slot);
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
@@ -43,16 +44,21 @@ void ThreadPool::worker_loop() {
     const auto* job = job_;
     const std::size_t n = job_n_;
     lk.unlock();
-    run_indices(*job, n);
+    run_indices(*job, n, slot);
     lk.lock();
     if (--active_ == 0) cv_done_.notify_one();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_indexed(n, [&fn](std::size_t i, std::size_t /*slot*/) { fn(i); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
   {
@@ -64,7 +70,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     ++generation_;
   }
   cv_start_.notify_all();
-  run_indices(fn, n);
+  run_indices(fn, n, 0);
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return active_ == 0; });
   job_ = nullptr;

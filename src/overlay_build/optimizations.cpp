@@ -59,19 +59,17 @@ void takeover_children(BuildState& st, std::vector<BrokerId>& layer,
               u.child_members[0] == c) {
             continue;  // the stream we are absorbing
           }
-          if (!candidate.fits(u, table)) {
+          if (!candidate.try_add(u, table)) {
             ok = false;
             break;
           }
-          candidate.add(u, table);
         }
         if (!ok) continue;
         for (const SubUnit& u : st.nodes.at(c).units()) {
-          if (!candidate.fits(u, table)) {
+          if (!candidate.try_add(u, table)) {
             ok = false;
             break;
           }
-          candidate.add(u, table);
         }
         if (!ok) continue;
         // Commit: parent absorbs the child; the child broker is freed.
@@ -101,11 +99,10 @@ void best_fit_replacement(BuildState& st, std::vector<BrokerId>& layer,
       BrokerLoad candidate(b);
       bool ok = true;
       for (const SubUnit& u : node.units()) {
-        if (!candidate.fits(u, table)) {
+        if (!candidate.try_add(u, table)) {
           ok = false;
           break;
         }
-        candidate.add(u, table);
       }
       if (ok) best = &b;
     }

@@ -48,6 +48,16 @@ void SubscriptionProfile::merge(const SubscriptionProfile& other) {
   card_cache_ = kNoCache;
 }
 
+void SubscriptionProfile::merge_vector(AdvId adv, const WindowedBitVector& v) {
+  auto it = vectors_.find(adv);
+  if (it == vectors_.end()) {
+    vectors_.emplace(adv, v);
+  } else {
+    it->second.merge(v);
+  }
+  card_cache_ = kNoCache;
+}
+
 namespace {
 thread_local std::size_t t_pairwise_walks = 0;
 }  // namespace

@@ -39,6 +39,10 @@ class SubscriptionProfile {
   // OR-merge another profile into this one (Figure 1 clustering).
   void merge(const SubscriptionProfile& other);
 
+  // Insert-or-OR one publisher vector (used to materialize flat union
+  // profiles back into a map-backed profile).
+  void merge_vector(AdvId adv, const WindowedBitVector& v);
+
   // --- Pairwise set algebra, aligned by (publisher, message ID) ---
   [[nodiscard]] static std::size_t intersect_count(const SubscriptionProfile& a,
                                                    const SubscriptionProfile& b);

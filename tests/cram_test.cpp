@@ -270,6 +270,47 @@ TEST_P(CramMetricTest, ThreadCountDoesNotChangeTheResult) {
   EXPECT_EQ(rs.stats.final_units, rt.stats.final_units);
 }
 
+// The tentpole invariant, extended over the incremental probe: thread count
+// (serial vs. speculative parallel k-search) and checkpoint interval (every
+// unit, auto, none) change only how the packing work is scheduled, never
+// the result or the decision-path accounting. packed + skipped is conserved
+// across strides — a checkpoint only converts walked units into skipped
+// ones.
+TEST_P(CramMetricTest, CheckpointIntervalAndThreadCountDoNotChangeTheResult) {
+  const auto table = one_publisher();
+  const auto units = mixed_units(table);
+  CramOptions ref_opts;
+  ref_opts.metric = GetParam();
+  ref_opts.threads = 1;
+  ref_opts.probe_checkpoint_stride = CheckpointedFirstFit::kNoCheckpoints;
+  const CramResult ref = cram_allocate(pool(40, 100.0), units, table, ref_opts);
+  ASSERT_TRUE(ref.allocation.success);
+  const std::size_t ref_work =
+      ref.stats.probe_units_packed + ref.stats.probe_units_skipped;
+  EXPECT_EQ(ref.stats.probe_units_skipped, 0u);  // no checkpoints: nothing skipped
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t stride :
+         {std::size_t{1}, std::size_t{0}, CheckpointedFirstFit::kNoCheckpoints}) {
+      CramOptions o = ref_opts;
+      o.threads = threads;
+      o.probe_checkpoint_stride = stride;
+      const CramResult r = cram_allocate(pool(40, 100.0), units, table, o);
+      ASSERT_TRUE(r.allocation.success);
+      EXPECT_EQ(allocation_signature(r.allocation), allocation_signature(ref.allocation));
+      EXPECT_EQ(r.stats.closeness_computations, ref.stats.closeness_computations);
+      EXPECT_EQ(r.stats.allocation_runs, ref.stats.allocation_runs);
+      EXPECT_EQ(r.stats.iterations, ref.stats.iterations);
+      EXPECT_EQ(r.stats.clusterings_applied, ref.stats.clusterings_applied);
+      EXPECT_EQ(r.stats.clusterings_rejected, ref.stats.clusterings_rejected);
+      EXPECT_EQ(r.stats.one_to_many_applied, ref.stats.one_to_many_applied);
+      EXPECT_EQ(r.stats.final_units, ref.stats.final_units);
+      EXPECT_EQ(r.stats.base_rebuilds, ref.stats.base_rebuilds);
+      EXPECT_EQ(r.stats.probe_units_packed + r.stats.probe_units_skipped, ref_work);
+      if (threads == 1) EXPECT_EQ(r.stats.speculative_probes, 0u);
+    }
+  }
+}
+
 TEST(Cram, DefaultThreadOptionResolvesToHardwareConcurrency) {
   const auto table = one_publisher();
   const CramResult r = cram_allocate(pool(40, 100.0), grouped_units(table), table);
