@@ -144,16 +144,14 @@ int main() {
         (xor_time - prunable_max) / prunable_max * 100.0);
   }
 
-  JsonObject doc;
-  doc.set_string("bench", "e6_algo_time")
+  RunReport report("e6_algo_time");
+  report.header()
       .set_bool("full_scale", full_scale())
       .set_integer("subscriptions", units.size())
       .set_integer("brokers_in_pool", pool.size())
       .set_number("budget_seconds", budget.limited() ? budget.budget_seconds() : 0)
-      .set_bool("budget_exceeded", budget_hit)
-      .set_raw("results", json_array(json_rows));
-  if (write_text_file("BENCH_cram.json", doc.render() + "\n")) {
-    std::printf("\nwrote BENCH_cram.json (%zu result rows)\n", json_rows.size());
-  }
+      .set_bool("budget_exceeded", budget_hit);
+  for (std::string& row : json_rows) report.add_row(std::move(row));
+  report.write("BENCH_cram.json", "results");
   return 0;
 }

@@ -33,6 +33,12 @@ int main() {
   const auto pool = Croc::pool_from(info);
   const auto units = Croc::units_from(info);
 
+  RunReport report("e7_cram_ablation");
+  report.header()
+      .set_bool("full_scale", full_scale())
+      .set_integer("subscriptions", units.size())
+      .set_integer("brokers_in_pool", pool.size());
+
   // --- opt 1: GIF grouping ---
   {
     const auto gifs = group_identical_filters(units);
@@ -40,6 +46,8 @@ int main() {
         (1.0 - static_cast<double>(gifs.size()) / static_cast<double>(units.size())) * 100.0;
     std::printf("opt1 GIF grouping: %zu subscriptions -> %zu GIFs (-%.0f%%; paper: up to -61%%)\n\n",
                 units.size(), gifs.size(), reduction);
+    report.header().set_integer("gif_count", gifs.size()).set_number("gif_reduction_pct",
+                                                                     reduction);
   }
 
   // --- opt 2 + 3 grid ---
@@ -51,6 +59,17 @@ int main() {
     const char* name;
     bool prune;
     bool o2m;
+  };
+  const auto report_variant = [&report](const char* name, const CramResult& r) {
+    report.add_row(JsonObject()
+                       .set_string("variant", name)
+                       .set_integer("brokers", r.allocation.brokers_used())
+                       .set_integer("clusters", r.allocation.unit_count())
+                       .set_integer("closeness_computations", r.stats.closeness_computations)
+                       .set_integer("one_to_many_applied", r.stats.one_to_many_applied)
+                       .set_number("seconds", r.stats.total_seconds)
+                       .set_number("probe_seconds", r.stats.probe_seconds)
+                       .set_number("pair_search_seconds", r.stats.pair_search_seconds));
   };
   for (const Variant v : {Variant{"full (opt1+2+3)", true, true},
                           Variant{"no pruning (opt1+3)", false, true},
@@ -68,6 +87,7 @@ int main() {
                std::to_string(r.stats.one_to_many_applied), fmt(r.stats.total_seconds, 3),
                fmt(r.stats.probe_seconds, 3), fmt(r.stats.pair_search_seconds, 3)},
               widths);
+    report_variant(v.name, r);
   }
 
   // --- no GIF grouping at all (opt 2 requires opt 1, so both are off) ---
@@ -83,6 +103,7 @@ int main() {
                fmt(r.stats.total_seconds, 3), fmt(r.stats.probe_seconds, 3),
                fmt(r.stats.pair_search_seconds, 3)},
               widths);
+    report_variant("no optimizations", r);
   }
 
   // --- poset build time ---
@@ -104,6 +125,9 @@ int main() {
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
     std::printf("\nposet build: %zu GIFs inserted in %.2f s (paper: 3,200 in ~2 s)\n", n,
                 secs);
+    report.header().set_integer("poset_build_gifs", n).set_number("poset_build_seconds",
+                                                                 secs);
   }
+  report.write("BENCH_cram_ablation.json", "results");
   return 0;
 }

@@ -177,73 +177,6 @@ bool BenchBudget::skip(const char* what) const {
   return true;
 }
 
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_array(const std::vector<std::string>& rendered_elems) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < rendered_elems.size(); ++i) {
-    if (i > 0) out += ',';
-    out += rendered_elems[i];
-  }
-  out += ']';
-  return out;
-}
-
-JsonObject& JsonObject::set_raw(std::string key, std::string rendered_value) {
-  fields_.emplace_back(std::move(key), std::move(rendered_value));
-  return *this;
-}
-
-JsonObject& JsonObject::set_string(std::string key, const std::string& v) {
-  return set_raw(std::move(key), json_quote(v));
-}
-
-JsonObject& JsonObject::set_number(std::string key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return set_raw(std::move(key), buf);
-}
-
-JsonObject& JsonObject::set_integer(std::string key, std::size_t v) {
-  return set_raw(std::move(key), std::to_string(v));
-}
-
-JsonObject& JsonObject::set_bool(std::string key, bool v) {
-  return set_raw(std::move(key), v ? "true" : "false");
-}
-
-std::string JsonObject::render() const {
-  std::string out = "{";
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    if (i > 0) out += ',';
-    out += json_quote(fields_[i].first);
-    out += ':';
-    out += fields_[i].second;
-  }
-  out += '}';
-  return out;
-}
-
 JsonObject run_result_json(const RunResult& r) {
   JsonObject row;
   row.set_string("approach", approach_name(r.approach))
@@ -261,27 +194,16 @@ JsonObject run_result_json(const RunResult& r) {
   return row;
 }
 
-bool write_sim_bench_json(const std::string& bench, const std::vector<std::string>& rows) {
-  JsonObject doc;
-  doc.set_string("bench", bench)
-      .set_bool("full_scale", full_scale())
-      .set_bool("tiny_scale", tiny_scale())
-      .set_raw("rows", json_array(rows));
-  const bool ok = write_text_file("BENCH_sim.json", doc.render() + "\n");
-  if (ok) std::printf("\nwrote BENCH_sim.json (%zu result rows)\n", rows.size());
-  return ok;
+RunReport make_sim_report(const std::string& bench) {
+  RunReport report(bench);
+  report.header().set_bool("full_scale", full_scale()).set_bool("tiny_scale", tiny_scale());
+  return report;
 }
 
-bool write_text_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
-    return false;
-  }
-  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = n == content.size() && std::fclose(f) == 0;
-  if (!ok) std::fprintf(stderr, "[bench] short write to %s\n", path.c_str());
-  return ok;
+bool write_sim_bench_json(const std::string& bench, const std::vector<std::string>& rows) {
+  RunReport report = make_sim_report(bench);
+  for (const std::string& row : rows) report.add_row(row);
+  return report.write("BENCH_sim.json", "rows");
 }
 
 }  // namespace greenps::bench

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "croc/croc.hpp"
+#include "obs/report.hpp"
 #include "scenario/scenario.hpp"
 
 namespace greenps::bench {
@@ -93,31 +94,23 @@ class BenchBudget {
   double budget_s_ = 0;
 };
 
-// Minimal JSON assembly for the machine-readable BENCH_*.json result files.
-// Values are stored pre-rendered; use the typed setters for escaping.
-class JsonObject {
- public:
-  JsonObject& set_raw(std::string key, std::string rendered_value);
-  JsonObject& set_string(std::string key, const std::string& v);
-  JsonObject& set_number(std::string key, double v);
-  JsonObject& set_integer(std::string key, std::size_t v);
-  JsonObject& set_bool(std::string key, bool v);
-  [[nodiscard]] std::string render() const;  // {"k":v,...} in insertion order
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-[[nodiscard]] std::string json_quote(const std::string& s);
-[[nodiscard]] std::string json_array(const std::vector<std::string>& rendered_elems);
-
-// Write `content` to `path` (truncating); returns false and warns on failure.
-bool write_text_file(const std::string& path, const std::string& content);
+// JSON assembly and file writing live in the observability subsystem's
+// run-report writer now (one escaping implementation for every BENCH_*.json
+// producer); re-exported here so bench code keeps its historical names.
+using obs::JsonObject;
+using obs::RunReport;
+using obs::json_array;
+using obs::json_quote;
+using obs::write_text_file;
 
 // One BENCH_sim.json row for a completed run: approach, wall clock, event
 // throughput, match-walk counters and the headline summary numbers. Callers
 // add their sweep coordinates (subs, brokers, ...) on top.
 [[nodiscard]] JsonObject run_result_json(const RunResult& r);
+
+// Start the standard sim-bench report (full_scale/tiny_scale header fields
+// filled in); benches add rows and sweep-specific header fields on top.
+[[nodiscard]] RunReport make_sim_report(const std::string& bench);
 
 // Write BENCH_sim.json (cwd) with the given rendered rows; prints a
 // confirmation line. `bench` names the producing experiment ("e1", "e5").

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace greenps {
 
 namespace {
@@ -36,6 +38,7 @@ PackProbe bin_packing_probe(std::vector<AllocBroker> pool, std::vector<const Sub
 
 Allocation bin_packing_allocate(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
                                 const PublisherTable& table) {
+  GREENPS_SPAN_TAGGED("alloc.bin_packing", units.size());
   sort_by_capacity_desc(pool);
   sort_units_by_bandwidth_desc(units);
   return first_fit(pool, units, table);

@@ -14,6 +14,8 @@
 #include "alloc/bin_packing.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "poset/poset.hpp"
 
 namespace greenps {
@@ -121,6 +123,7 @@ class CramRun {
   }
 
   CramResult run() {
+    GREENPS_SPAN("cram.run");
     const auto t0 = Clock::now();
     // Initialization: allocate without clustering; abort if impossible.
     const PackProbe init = probe_allocation();
@@ -128,6 +131,7 @@ class CramRun {
       CramResult r;
       r.stats = stats_;
       r.stats.total_seconds = seconds_since(t0);
+      publish_stats(r.stats);
       return r;
     }
     best_brokers_ = init.brokers_used;
@@ -135,6 +139,7 @@ class CramRun {
     // Build the poset over GIFs (optimization 2).
     const auto tp = Clock::now();
     if (opts_.poset_pruning) {
+      GREENPS_SPAN_TAGGED("cram.poset_build", gifs_.size());
       for (const auto& [id, g] : gifs_) {
         const auto ins = poset_.insert(g.profile, id);
         assert(ins.inserted || !opts_.gif_grouping);
@@ -151,7 +156,12 @@ class CramRun {
 
     while (stats_.iterations < opts_.max_iterations) {
       const auto ts = Clock::now();
-      refresh_dirty();
+      {
+        // Tagged with the round's dirty-set size: the trace shows how the
+        // re-search load shrinks as the candidate cache warms up.
+        GREENPS_SPAN_TAGGED("cram.pair_search", dirty_.size());
+        refresh_dirty();
+      }
       stats_.pair_search_seconds += seconds_since(ts);
       const auto pick = pick_global_best();
       if (!pick) break;
@@ -172,6 +182,7 @@ class CramRun {
     r.stats = stats_;
     r.stats.final_units = r.allocation.unit_count();
     r.stats.total_seconds = seconds_since(t0);
+    publish_stats(r.stats);
     return r;
   }
 
@@ -180,6 +191,27 @@ class CramRun {
     std::uint64_t partner = 0;
     double closeness = 0;
   };
+
+  // Mirror the run's stats into the global metrics registry (counters
+  // accumulate across runs; seconds are per-run gauges).
+  static void publish_stats(const CramStats& s) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("cram.iterations").add(s.iterations);
+    reg.counter("cram.allocation_runs").add(s.allocation_runs);
+    reg.counter("cram.closeness_computations").add(s.closeness_computations);
+    reg.counter("cram.clusterings_applied").add(s.clusterings_applied);
+    reg.counter("cram.clusterings_rejected").add(s.clusterings_rejected);
+    reg.counter("cram.one_to_many_applied").add(s.one_to_many_applied);
+    reg.counter("cram.speculative_probes").add(s.speculative_probes);
+    reg.counter("cram.probe_units_packed").add(s.probe_units_packed);
+    reg.counter("cram.probe_units_skipped").add(s.probe_units_skipped);
+    reg.counter("cram.base_rebuilds").add(s.base_rebuilds);
+    reg.gauge("cram.final_units").set(static_cast<double>(s.final_units));
+    reg.gauge("cram.total_seconds").set(s.total_seconds);
+    reg.gauge("cram.pair_search_seconds").set(s.pair_search_seconds);
+    reg.gauge("cram.probe_seconds").set(s.probe_seconds);
+    GREENPS_COUNTER("cram.final_units", s.final_units);
+  }
 
   // Everything one best-partner search produces. Searches are pure reads of
   // the run state, so the dirty set can be refreshed in parallel; outcomes
@@ -380,9 +412,12 @@ class CramRun {
       if (spec_scratch_.size() < workers_->size()) spec_scratch_.resize(workers_->size());
       std::vector<PackProbe> raw(mids.size());
       const auto t0 = Clock::now();
-      workers_->parallel_for_indexed(mids.size(), [&](std::size_t i, std::size_t slot) {
-        raw[i] = probe_at(mids[i], spec_scratch_[slot]);
-      });
+      {
+        GREENPS_SPAN_TAGGED("cram.spec_batch", mids.size());
+        workers_->parallel_for_indexed(mids.size(), [&](std::size_t i, std::size_t slot) {
+          raw[i] = probe_at(mids[i], spec_scratch_[slot]);
+        });
+      }
       stats_.probe_seconds += seconds_since(t0);
       // Replay the decision path out of the batch.
       std::size_t used = 0;

@@ -1,9 +1,12 @@
 #include "alloc/fbf.hpp"
 
+#include "obs/trace.hpp"
+
 namespace greenps {
 
 Allocation fbf_allocate(std::vector<AllocBroker> pool, std::vector<SubUnit> units,
                         const PublisherTable& table, Rng& rng) {
+  GREENPS_SPAN_TAGGED("alloc.fbf", units.size());
   sort_by_capacity_desc(pool);
   rng.shuffle(units);  // "a subscription is randomly removed from the pool"
   return first_fit(pool, units, table);

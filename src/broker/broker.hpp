@@ -47,6 +47,7 @@ class Broker {
 
   [[nodiscard]] FifoServer& matcher() { return matcher_; }
   [[nodiscard]] BandwidthLimiter& out_link() { return out_link_; }
+  [[nodiscard]] const BandwidthLimiter& out_link() const { return out_link_; }
 
   // Route one publication, excluding the neighbor it came from (if any).
   [[nodiscard]] SubscriptionRoutingTable::MatchResult route(const Publication& pub,

@@ -1,7 +1,10 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
+
+#include "obs/clock.hpp"
 
 namespace greenps::log {
 
@@ -18,6 +21,22 @@ const char* level_name(Level level) {
   }
   return "?????";
 }
+
+// Timestamp prefix on the shared obs clock: wall seconds since process
+// start, plus sim time when the caller is inside the event loop. Both use
+// the same clock the tracer stamps spans with, so log lines correlate
+// directly with trace events.
+std::string clock_prefix() {
+  char buf[64];
+  const double wall_s = static_cast<double>(obs::wall_now_us()) / 1e6;
+  if (const auto sim_us = obs::current_sim_time_us()) {
+    std::snprintf(buf, sizeof(buf), " +%.3fs|sim %.3fs", wall_s,
+                  static_cast<double>(*sim_us) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), " +%.3fs", wall_s);
+  }
+  return buf;
+}
 }  // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
@@ -25,7 +44,8 @@ void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void write(Level lvl, const std::string& message) {
-  std::cerr << "[greenps " << level_name(lvl) << "] " << message << '\n';
+  std::cerr << "[greenps " << level_name(lvl) << clock_prefix() << "] " << message
+            << '\n';
 }
 
 }  // namespace greenps::log

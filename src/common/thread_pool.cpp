@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace greenps {
 
 std::size_t ThreadPool::resolve(std::size_t requested) {
@@ -44,7 +46,12 @@ void ThreadPool::worker_loop(std::size_t slot) {
     const auto* job = job_;
     const std::size_t n = job_n_;
     lk.unlock();
-    run_indices(*job, n, slot);
+    {
+      // One span per job execution, tagged with the worker slot so traces
+      // show which worker carried which share of the parallel region.
+      GREENPS_SPAN_TAGGED("pool.work", slot);
+      run_indices(*job, n, slot);
+    }
     lk.lock();
     if (--active_ == 0) cv_done_.notify_one();
   }
@@ -70,7 +77,10 @@ void ThreadPool::parallel_for_indexed(
     ++generation_;
   }
   cv_start_.notify_all();
-  run_indices(fn, n, 0);
+  {
+    GREENPS_SPAN_TAGGED("pool.work", 0);
+    run_indices(fn, n, 0);
+  }
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return active_ == 0; });
   job_ = nullptr;

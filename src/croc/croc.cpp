@@ -6,6 +6,8 @@
 #include "alloc/fbf.hpp"
 #include "baselines/pairwise.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/topology_builder.hpp"
 
 namespace greenps {
@@ -48,9 +50,14 @@ std::vector<AllocBroker> Croc::pool_from(const GatheredInfo& info) {
 }
 
 ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
+  GREENPS_SPAN("croc.reconfigure");
   const auto t0 = Clock::now();
-  const GatheredInfo info = gather_information(
-      sim.deployment().topology, entry, [&sim](BrokerId b) { return sim.broker_info(b); });
+  GatheredInfo info;
+  {
+    GREENPS_SPAN("croc.phase1.gather");
+    info = gather_information(sim.deployment().topology, entry,
+                              [&sim](BrokerId b) { return sim.broker_info(b); });
+  }
   ReconfigurationReport report = plan_from_info(info);
   report.phase1_seconds = seconds_since(t0) - report.phase2_seconds -
                           report.phase3_seconds - report.grape_seconds;
@@ -92,37 +99,41 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
 
   // ---- Phase 2 ----
   const auto t2 = Clock::now();
+  GREENPS_INSTANT("croc.phase2.start");
   Allocation phase2;
   const bool pairwise = config_.algorithm == Phase2Algorithm::kPairwiseK ||
                         config_.algorithm == Phase2Algorithm::kPairwiseN;
-  switch (config_.algorithm) {
-    case Phase2Algorithm::kFbf:
-      phase2 = fbf_allocate(pool, units, table, rng);
-      break;
-    case Phase2Algorithm::kBinPacking:
-      phase2 = bin_packing_allocate(pool, units, table);
-      break;
-    case Phase2Algorithm::kCram: {
-      CramResult r = cram_allocate(pool, units, table, config_.cram);
-      report.cram = r.stats;
-      phase2 = std::move(r.allocation);
-      break;
-    }
-    case Phase2Algorithm::kPairwiseK: {
-      std::size_t k = config_.pairwise_k;
-      if (k == 0) {
-        CramOptions xor_opts = config_.cram;
-        xor_opts.metric = ClosenessMetric::kXor;
-        CramResult r = cram_allocate(pool, units, table, xor_opts);
+  {
+    GREENPS_SPAN_TAGGED("croc.phase2", static_cast<std::uint64_t>(config_.algorithm));
+    switch (config_.algorithm) {
+      case Phase2Algorithm::kFbf:
+        phase2 = fbf_allocate(pool, units, table, rng);
+        break;
+      case Phase2Algorithm::kBinPacking:
+        phase2 = bin_packing_allocate(pool, units, table);
+        break;
+      case Phase2Algorithm::kCram: {
+        CramResult r = cram_allocate(pool, units, table, config_.cram);
         report.cram = r.stats;
-        k = r.allocation.success ? r.allocation.unit_count() : pool.size();
+        phase2 = std::move(r.allocation);
+        break;
       }
-      phase2 = pairwise_k_allocate(pool, units, k, table, rng);
-      break;
+      case Phase2Algorithm::kPairwiseK: {
+        std::size_t k = config_.pairwise_k;
+        if (k == 0) {
+          CramOptions xor_opts = config_.cram;
+          xor_opts.metric = ClosenessMetric::kXor;
+          CramResult r = cram_allocate(pool, units, table, xor_opts);
+          report.cram = r.stats;
+          k = r.allocation.success ? r.allocation.unit_count() : pool.size();
+        }
+        phase2 = pairwise_k_allocate(pool, units, k, table, rng);
+        break;
+      }
+      case Phase2Algorithm::kPairwiseN:
+        phase2 = pairwise_n_allocate(pool, units, table, rng);
+        break;
     }
-    case Phase2Algorithm::kPairwiseN:
-      phase2 = pairwise_n_allocate(pool, units, table, rng);
-      break;
   }
   report.phase2_seconds = seconds_since(t2);
   if (!phase2.success) {
@@ -134,6 +145,9 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
 
   // ---- Phase 3 ----
   const auto t3 = Clock::now();
+  // Phase 3 and GRAPE interleave with early returns, so their spans are
+  // emitted explicitly at the points the report timers already stop.
+  const std::uint64_t ph3_ts = obs::trace_now_us();
   ReconfigurationPlan plan;
   std::unordered_map<BrokerId, SubscriptionProfile> local_profiles;
   if (phase2.brokers.empty()) {
@@ -201,9 +215,11 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
   plan.allocated_brokers = plan.overlay.brokers();
   plan.cluster_count = report.cluster_count;
   report.phase3_seconds = seconds_since(t3);
+  obs::trace_complete("croc.phase3", ph3_ts, obs::trace_now_us());
 
   // ---- GRAPE ----
   const auto tg = Clock::now();
+  const std::uint64_t grape_ts = obs::trace_now_us();
   if (pairwise || !config_.run_grape) {
     // AUTOMATIC-style random publisher placement for the pairwise
     // baselines; root placement when GRAPE is disabled.
@@ -223,10 +239,20 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
     plan.publisher_home = placed.broker_for;
   }
   report.grape_seconds = seconds_since(tg);
+  obs::trace_complete("croc.grape", grape_ts, obs::trace_now_us());
 
   report.allocated_brokers = plan.allocated_brokers.size();
   report.plan = std::move(plan);
   report.success = true;
+
+  // Publish the plan's headline numbers to the metrics registry so run
+  // reports can snapshot them without re-deriving from the report struct.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("croc.phase2_seconds").set(report.phase2_seconds);
+  reg.gauge("croc.phase3_seconds").set(report.phase3_seconds);
+  reg.gauge("croc.grape_seconds").set(report.grape_seconds);
+  reg.gauge("croc.cluster_count").set(static_cast<double>(report.cluster_count));
+  reg.gauge("croc.allocated_brokers").set(static_cast<double>(report.allocated_brokers));
   return report;
 }
 

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace greenps {
 
 namespace {
@@ -55,6 +58,12 @@ GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
       out.publisher_table[p.profile.adv] = p.profile;
     }
   }
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("croc.bir_messages").add(out.stats.bir_messages);
+  reg.counter("croc.bia_messages").add(out.stats.bia_messages);
+  reg.counter("croc.brokers_answered").add(out.stats.brokers_answered);
+  GREENPS_COUNTER("croc.gather.brokers_answered", out.stats.brokers_answered);
   return out;
 }
 

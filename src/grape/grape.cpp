@@ -5,6 +5,8 @@
 #include <deque>
 #include <optional>
 
+#include "obs/trace.hpp"
+
 namespace greenps {
 
 namespace {
@@ -96,6 +98,7 @@ GrapePlacement grape_place_publishers(
     const Topology& tree, const std::vector<GrapePublisher>& publishers,
     const std::unordered_map<BrokerId, SubscriptionProfile>& local_profiles,
     const PublisherTable& table, GrapeMode mode) {
+  GREENPS_SPAN_TAGGED("grape.place", publishers.size());
   GrapePlacement placement;
   const std::vector<BrokerId> candidates = tree.brokers();
   assert(!candidates.empty());

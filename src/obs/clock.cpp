@@ -1,0 +1,31 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace greenps::obs {
+
+namespace {
+constexpr std::int64_t kNoSimTime = std::numeric_limits<std::int64_t>::min();
+thread_local std::int64_t t_sim_time = kNoSimTime;
+}  // namespace
+
+std::uint64_t wall_now_us() {
+  // Epoch fixed on first call anywhere in the process (thread-safe local
+  // static); every later call measures against it.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+void set_sim_time_us(std::int64_t t) { t_sim_time = t; }
+
+void clear_sim_time() { t_sim_time = kNoSimTime; }
+
+std::optional<std::int64_t> current_sim_time_us() {
+  if (t_sim_time == kNoSimTime) return std::nullopt;
+  return t_sim_time;
+}
+
+}  // namespace greenps::obs

@@ -1,0 +1,27 @@
+// Shared observability clock.
+//
+// All observability timestamps — trace-span begin/end, log-line prefixes —
+// come from one steady-clock epoch fixed at the first use in the process,
+// so a `+12.345s` log line and a trace event at ts=12345000 µs name the
+// same instant. The event loop additionally publishes the simulated time
+// of the event it is executing into a thread-local slot, letting the
+// logger stamp lines produced inside a simulation with the sim time they
+// correspond to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace greenps::obs {
+
+// Microseconds of steady (wall) time since the process-wide epoch.
+[[nodiscard]] std::uint64_t wall_now_us();
+
+// Publish/withdraw the simulated time (µs) the current thread is executing
+// under. Cheap (one thread-local store); the event loop calls this per
+// event.
+void set_sim_time_us(std::int64_t t);
+void clear_sim_time();
+[[nodiscard]] std::optional<std::int64_t> current_sim_time_us();
+
+}  // namespace greenps::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greenps::obs {
+
+LogHistogram::LogHistogram(double first_bucket, double growth, std::size_t buckets)
+    : first_(first_bucket), growth_(growth), log_growth_(std::log(growth)),
+      counts_(buckets, 0) {
+  assert(first_bucket > 0 && growth > 1.0 && buckets >= 2);
+}
+
+std::size_t LogHistogram::bucket_for(double v) const {
+  if (v <= first_) return 0;
+  const auto b = static_cast<std::size_t>(std::log(v / first_) / log_growth_);
+  return std::min(b + 1, counts_.size() - 1);
+}
+
+void LogHistogram::record(double v) {
+  v = std::max(v, 0.0);
+  counts_[bucket_for(v)] += 1;
+  total_ += 1;
+  sum_ += v;
+}
+
+double LogHistogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(fraction * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : first_ * std::pow(growth_, i - 1);
+      const double hi = first_ * std::pow(growth_, i);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return first_ * std::pow(growth_, counts_.size());
+}
+
+double LogHistogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  assert(counts_.size() == other.counts_.size() && first_ == other.first_ &&
+         growth_ == other.growth_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked for the same reason as the tracer registry: worker threads may
+  // outlive static destruction.
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name, double first_bucket,
+                                         double growth, std::size_t buckets) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>(first_bucket, growth, buckets);
+  return *slot;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::vector<Entry> out;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, c] : counters_) {
+      out.push_back({name, Entry::Kind::kCounter, static_cast<double>(c->value()), 0, 0, 0});
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.push_back({name, Entry::Kind::kGauge, g->value(), 0, 0, 0});
+    }
+    for (const auto& [name, h] : histograms_) {
+      out.push_back({name, Entry::Kind::kHistogram, h->mean(), h->samples(),
+                     h->percentile(0.50), h->percentile(0.99)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace greenps::obs

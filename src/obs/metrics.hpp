@@ -1,0 +1,110 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// The registry is the process-wide home for operational metrics the
+// pipeline emits (CRAM probe counts, CROC phase seconds, simulator
+// rates). Counters and gauges are atomics and safe to update from any
+// thread; histograms are single-writer (the simulator's event loop and
+// CRAM's decision path are single-threaded where they record).
+//
+// LogHistogram generalizes the delay histogram the simulator has always
+// used (sim/metrics.hpp's DelayHistogram is now a thin wrapper): constant
+// memory regardless of sample volume, ~growth/2 relative error on
+// percentile estimates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace greenps::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Logarithmically-bucketed histogram over non-negative values. Bucket i>0
+// covers (first * growth^(i-1), first * growth^i]; bucket 0 covers
+// [0, first]. The last bucket absorbs everything above the range.
+class LogHistogram {
+ public:
+  LogHistogram(double first_bucket, double growth, std::size_t buckets);
+
+  void record(double v);
+  // Estimated value below which `fraction` of samples fall (midpoint of
+  // the bucket holding that rank).
+  [[nodiscard]] double percentile(double fraction) const;
+  [[nodiscard]] std::uint64_t samples() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  // Accumulate another histogram of identical shape.
+  void merge(const LogHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bucket_for(double v) const;
+
+ private:
+  double first_;
+  double growth_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+// Named-metric registry. Lookup interns the name on first use and returns
+// a reference that stays valid for the registry's lifetime, so hot paths
+// can resolve once and update the reference.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Shape parameters apply on first registration; later lookups of the
+  // same name return the existing histogram unchanged.
+  LogHistogram& histogram(const std::string& name, double first_bucket = 1.0,
+                          double growth = 1.15, std::size_t buckets = 120);
+
+  struct Entry {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    double value = 0;            // counter/gauge value; histogram mean
+    std::uint64_t samples = 0;   // histograms only
+    double p50 = 0, p99 = 0;     // histograms only
+  };
+  // Sorted-by-name snapshot of every registered metric.
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  // Zero every metric (counters/gauges to 0, histograms emptied).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace greenps::obs

@@ -1,0 +1,137 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace greenps::obs {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_array(const std::vector<std::string>& rendered_elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rendered_elems.size(); ++i) {
+    if (i > 0) out += ',';
+    out += rendered_elems[i];
+  }
+  out += ']';
+  return out;
+}
+
+JsonObject& JsonObject::set_raw(std::string key, std::string rendered_value) {
+  fields_.emplace_back(std::move(key), std::move(rendered_value));
+  return *this;
+}
+
+JsonObject& JsonObject::set_string(std::string key, const std::string& v) {
+  return set_raw(std::move(key), json_quote(v));
+}
+
+JsonObject& JsonObject::set_number(std::string key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return set_raw(std::move(key), buf);
+}
+
+JsonObject& JsonObject::set_integer(std::string key, std::size_t v) {
+  return set_raw(std::move(key), std::to_string(v));
+}
+
+JsonObject& JsonObject::set_bool(std::string key, bool v) {
+  return set_raw(std::move(key), v ? "true" : "false");
+}
+
+std::string JsonObject::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_quote(fields_[i].first);
+    out += ':';
+    out += fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[greenps obs] cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "[greenps obs] short write to %s\n", path.c_str());
+  return ok;
+}
+
+RunReport::RunReport(std::string bench) { doc_.set_string("bench", bench); }
+
+RunReport& RunReport::add_row(const JsonObject& row) {
+  rows_.push_back(row.render());
+  return *this;
+}
+
+RunReport& RunReport::add_row(std::string rendered_row) {
+  rows_.push_back(std::move(rendered_row));
+  return *this;
+}
+
+RunReport& RunReport::add_metrics_snapshot() {
+  JsonObject metrics;
+  for (const auto& e : MetricsRegistry::global().snapshot()) {
+    switch (e.kind) {
+      case MetricsRegistry::Entry::Kind::kCounter:
+        metrics.set_integer(e.name, static_cast<std::size_t>(e.value));
+        break;
+      case MetricsRegistry::Entry::Kind::kGauge:
+        metrics.set_number(e.name, e.value);
+        break;
+      case MetricsRegistry::Entry::Kind::kHistogram: {
+        JsonObject h;
+        h.set_integer("samples", e.samples)
+            .set_number("mean", e.value)
+            .set_number("p50", e.p50)
+            .set_number("p99", e.p99);
+        metrics.set_raw(e.name, h.render());
+        break;
+      }
+    }
+  }
+  doc_.set_raw("metrics", metrics.render());
+  return *this;
+}
+
+std::string RunReport::render(const std::string& rows_key) const {
+  JsonObject doc = doc_;
+  doc.set_raw(rows_key, json_array(rows_));
+  return doc.render() + "\n";
+}
+
+bool RunReport::write(const std::string& path, const std::string& rows_key) const {
+  const bool ok = write_text_file(path, render(rows_key));
+  if (ok) std::printf("\nwrote %s (%zu result rows)\n", path.c_str(), rows_.size());
+  return ok;
+}
+
+}  // namespace greenps::obs

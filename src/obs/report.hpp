@@ -1,0 +1,64 @@
+// Unified run-report writer.
+//
+// The single producer of the machine-readable BENCH_*.json result files:
+// one JSON-escaping implementation, one document assembler, one file
+// writer. Benches build a RunReport (top-level fields + result rows) and
+// write it; the rendered schema is exactly what the hand-rolled per-bench
+// writers used to emit, so downstream tooling keyed on BENCH_cram.json /
+// BENCH_sim.json sees no difference.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace greenps::obs {
+
+[[nodiscard]] std::string json_quote(const std::string& s);
+[[nodiscard]] std::string json_array(const std::vector<std::string>& rendered_elems);
+
+// Minimal JSON object assembly. Values are stored pre-rendered; use the
+// typed setters for escaping. Fields render in insertion order.
+class JsonObject {
+ public:
+  JsonObject& set_raw(std::string key, std::string rendered_value);
+  JsonObject& set_string(std::string key, const std::string& v);
+  JsonObject& set_number(std::string key, double v);
+  JsonObject& set_integer(std::string key, std::size_t v);
+  JsonObject& set_bool(std::string key, bool v);
+  [[nodiscard]] std::string render() const;  // {"k":v,...}
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Write `content` to `path` (truncating); returns false and warns on failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+// One run report: a flat header of run-level fields plus an array of
+// result rows, rendered as {"bench":...,<header fields>,"<rows_key>":[...]}.
+class RunReport {
+ public:
+  explicit RunReport(std::string bench);
+
+  // Top-level fields after "bench" (insertion order preserved).
+  [[nodiscard]] JsonObject& header() { return doc_; }
+  RunReport& add_row(const JsonObject& row);
+  RunReport& add_row(std::string rendered_row);
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  // Attach a "metrics" object rendered from the global MetricsRegistry
+  // snapshot (opt-in; absent unless called, keeping legacy schemas exact).
+  RunReport& add_metrics_snapshot();
+
+  // Render and write; prints "wrote <path> (N result rows)" on success.
+  bool write(const std::string& path, const std::string& rows_key = "rows") const;
+  [[nodiscard]] std::string render(const std::string& rows_key = "rows") const;
+
+ private:
+  JsonObject doc_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace greenps::obs

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay_build/optimizations.hpp"
 
 namespace greenps {
@@ -27,6 +29,9 @@ BuiltOverlay build_overlay(const Allocation& phase2,
   out.stats.layers = 1;  // the Phase-2 leaf layer
 
   while (st.current.size() > 1) {
+    // One span per recursive layer, tagged with the layer index (1 = first
+    // interior layer above the Phase-2 leaves).
+    GREENPS_SPAN_TAGGED("phase3.layer", out.stats.layers);
     // Map each broker of the current layer to one subscription-like unit.
     std::vector<SubUnit> child_units;
     child_units.reserve(st.current.size());
@@ -101,6 +106,9 @@ BuiltOverlay build_overlay(const Allocation& phase2,
     log::warn("phase-3 overlay is not a tree (brokers=", out.tree.broker_count(),
               " links=", out.tree.link_count(), ")");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("phase3.layers").set(static_cast<double>(out.stats.layers));
+  reg.gauge("phase3.overlay_brokers").set(static_cast<double>(out.tree.broker_count()));
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/clock.hpp"
+
 namespace greenps {
 
 void EventQueue::schedule(SimTime time, Action action) {
@@ -17,11 +19,15 @@ std::size_t EventQueue::run_until(SimTime end) {
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ = ev.time;
+    // Publish sim time to the obs clock so log lines and trace events
+    // emitted from inside event handlers carry the simulated timestamp.
+    obs::set_sim_time_us(now_);
     ev.action();
     ++count;
     ++executed_;
   }
   now_ = end;
+  obs::clear_sim_time();
   return count;
 }
 

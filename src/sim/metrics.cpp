@@ -1,43 +1,12 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 namespace greenps {
 
-std::size_t DelayHistogram::bucket_for(SimTime delay) {
-  const double us = static_cast<double>(std::max<SimTime>(delay, 1));
-  if (us <= kFirstBucketUs) return 0;
-  const auto b = static_cast<std::size_t>(std::log(us / kFirstBucketUs) / std::log(kGrowth));
-  return std::min(b + 1, kBuckets - 1);
-}
-
 void DelayHistogram::record(SimTime delay) {
-  counts_[bucket_for(delay)] += 1;
-  total_ += 1;
-}
-
-double DelayHistogram::percentile_ms(double fraction) const {
-  if (total_ == 0) return 0.0;
-  fraction = std::clamp(fraction, 0.0, 1.0);
-  const auto target = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(fraction * static_cast<double>(total_))));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += counts_[i];
-    if (seen >= target && counts_[i] > 0) {
-      // Geometric midpoint of the bucket, converted to ms.
-      const double lo_us = i == 0 ? 0.0 : kFirstBucketUs * std::pow(kGrowth, i - 1);
-      const double hi_us = kFirstBucketUs * std::pow(kGrowth, i);
-      return (lo_us + hi_us) / 2.0 / 1000.0;
-    }
-  }
-  return kFirstBucketUs * std::pow(kGrowth, kBuckets) / 1000.0;
-}
-
-void DelayHistogram::reset() {
-  counts_.fill(0);
-  total_ = 0;
+  // Sub-microsecond delays count as 1 us, preserving the historical floor.
+  hist_.record(static_cast<double>(std::max<SimTime>(delay, 1)));
 }
 
 void MetricsCollector::on_delivery(BrokerId last_broker, int broker_hops, SimTime delay) {

@@ -3,35 +3,37 @@
 // broker utilization.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <unordered_map>
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace greenps {
 
-// Logarithmically-bucketed latency histogram: constant memory regardless of
-// delivery volume, ~7% relative error on percentile estimates.
+// Delivery-latency histogram: a sim-flavored view over the observability
+// subsystem's log-bucketed histogram (obs::LogHistogram), keeping the
+// historical shape — 120 buckets spanning 100 us * 1.15^i, i.e. 100 us to
+// ~2 min — and the ms-denominated percentile API.
 class DelayHistogram {
  public:
+  DelayHistogram() : hist_(kFirstBucketUs, kGrowth, kBuckets) {}
+
   void record(SimTime delay);
   // Estimated delay (in ms) below which `fraction` of samples fall.
-  [[nodiscard]] double percentile_ms(double fraction) const;
-  [[nodiscard]] std::uint64_t samples() const { return total_; }
-  void reset();
+  [[nodiscard]] double percentile_ms(double fraction) const {
+    return hist_.samples() == 0 ? 0.0 : hist_.percentile(fraction) / 1000.0;
+  }
+  [[nodiscard]] std::uint64_t samples() const { return hist_.samples(); }
+  void reset() { hist_.reset(); }
 
  private:
-  // Buckets span [100 us * 1.15^i]; ~120 buckets cover 100 us .. ~2 min.
   static constexpr std::size_t kBuckets = 120;
   static constexpr double kFirstBucketUs = 100.0;
   static constexpr double kGrowth = 1.15;
 
-  [[nodiscard]] static std::size_t bucket_for(SimTime delay);
-
-  std::array<std::uint64_t, kBuckets> counts_{};
-  std::uint64_t total_ = 0;
+  obs::LogHistogram hist_;
 };
 
 struct BrokerTraffic {

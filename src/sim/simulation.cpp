@@ -1,10 +1,12 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "common/logging.hpp"
 #include "matching/relations.hpp"
+#include "obs/trace.hpp"
 
 namespace greenps {
 
@@ -33,6 +35,8 @@ void Simulation::redeploy(Deployment deployment) {
   metrics_.reset();
   measured_s_ = 0;
   publishers_scheduled_ = false;
+  sample_baselines_.clear();
+  sampler_scheduled_ = false;
   for (const BrokerId b : deployment_.topology.brokers()) {
     const auto cap_it = deployment_.capacities.find(b);
     const BrokerCapacity cap =
@@ -190,15 +194,69 @@ void Simulation::run(double duration_s) {
     }
     publishers_scheduled_ = true;
   }
-  queue_.run_until(end);
+  if (sample_interval_us_ > 0 && !sampler_scheduled_) {
+    schedule_sample(start + sample_interval_us_);
+    sampler_scheduled_ = true;
+  }
+  {
+    GREENPS_SPAN("sim.run");
+    queue_.run_until(end);
+  }
   // Events past `end` (in-flight deliveries, future publications) stay
   // queued; a subsequent run() continues seamlessly.
   measured_s_ += duration_s;
+  if (sample_interval_us_ > 0 && sampler_.row_count() > 0) {
+    sampler_.write_csv(obs::TimeSeriesSampler::path_from_env());
+  }
+}
+
+void Simulation::schedule_sample(SimTime at) {
+  queue_.schedule(at, [this] {
+    take_sample();
+    schedule_sample(queue_.now() + sample_interval_us_);
+  });
+}
+
+void Simulation::take_sample() {
+  const SimTime now = queue_.now();
+  const double interval_s = to_seconds(sample_interval_us_);
+  // Sorted broker order keeps the CSV stable across runs.
+  std::vector<BrokerId> ids;
+  ids.reserve(brokers_.size());
+  for (const auto& [id, br] : brokers_) {
+    (void)br;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const BrokerId id : ids) {
+    const Broker& br = *brokers_.at(id);
+    SampleBaseline& base = sample_baselines_[id];
+    std::uint64_t in_now = 0, out_now = 0;
+    if (const auto it = metrics_.traffic().find(id); it != metrics_.traffic().end()) {
+      in_now = it->second.msgs_in;
+      out_now = it->second.msgs_out;
+    }
+    const SimTime busy_now = br.out_link().busy_time();
+    const double in_rate = static_cast<double>(in_now - base.msgs_in) / interval_s;
+    const double out_rate = static_cast<double>(out_now - base.msgs_out) / interval_s;
+    const double backlog_s = to_seconds(std::max<SimTime>(br.out_link().busy_until() - now, 0));
+    const double util =
+        static_cast<double>(busy_now - base.busy_us) / static_cast<double>(sample_interval_us_);
+    sampler_.append(to_seconds(now), id.value(), {in_rate, out_rate, backlog_s, util});
+    base = {in_now, out_now, busy_now};
+  }
 }
 
 void Simulation::reset_metrics() {
   metrics_.reset();
   measured_s_ = 0;
+  // Traffic counters restart at zero; link busy time does not, so only the
+  // message baselines reset.
+  for (auto& [id, base] : sample_baselines_) {
+    (void)id;
+    base.msgs_in = 0;
+    base.msgs_out = 0;
+  }
 }
 
 BrokerInfo Simulation::broker_info(BrokerId id) const {

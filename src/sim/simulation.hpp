@@ -16,6 +16,7 @@
 
 #include "broker/broker.hpp"
 #include "common/rng.hpp"
+#include "obs/sampler.hpp"
 #include "overlay/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -89,6 +90,13 @@ class Simulation {
   };
 
   void install_routing();
+  // Periodic per-broker time-series sampling (GREENPS_OBS_SAMPLE_MS): one
+  // self-rescheduling event snapshots message rates, output-queue backlog
+  // and bandwidth utilization. Inert (no events scheduled) when disabled,
+  // so the event stream — and thus every allocation decision — is
+  // unchanged by default.
+  void schedule_sample(SimTime at);
+  void take_sample();
   void schedule_publisher(std::size_t pub_index, SimTime first);
   void publish(std::size_t pub_index);
   // `br` is resolved at schedule time (broker storage is stable between
@@ -116,6 +124,18 @@ class Simulation {
   std::unordered_set<BrokerId> client_hosts_;
   double measured_s_ = 0;
   bool publishers_scheduled_ = false;
+
+  // Previous-sample counters so each sample reports per-interval deltas.
+  struct SampleBaseline {
+    std::uint64_t msgs_in = 0;
+    std::uint64_t msgs_out = 0;
+    SimTime busy_us = 0;
+  };
+  obs::TimeSeriesSampler sampler_{
+      "broker", {"in_rate_msg_s", "out_rate_msg_s", "queue_backlog_s", "bw_utilization"}};
+  SimTime sample_interval_us_ = obs::TimeSeriesSampler::interval_us_from_env();
+  std::unordered_map<BrokerId, SampleBaseline> sample_baselines_;
+  bool sampler_scheduled_ = false;
 };
 
 }  // namespace greenps
