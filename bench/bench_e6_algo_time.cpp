@@ -29,6 +29,15 @@ double time_of(const std::function<void()>& fn) {
   fn();
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+// A timing row for a failed allocation is meaningless; say so loudly
+// instead of printing broker counts from a half-built result.
+std::string broker_cell(const Allocation& a, const char* approach) {
+  if (a.success) return std::to_string(a.brokers_used());
+  std::fprintf(stderr, "[bench] %s allocation FAILED (insufficient broker resources); "
+                       "row reflects a failed run\n", approach);
+  return "FAILED";
+}
 }  // namespace
 
 int main() {
@@ -64,11 +73,12 @@ int main() {
     Rng rng(1);
     Allocation a;
     const double t = time_of([&] { a = fbf_allocate(pool, units, info.publisher_table, rng); });
-    print_row({"FBF", fmt(t, 4), std::to_string(a.brokers_used()),
+    print_row({"FBF", fmt(t, 4), broker_cell(a, "FBF"),
                std::to_string(a.unit_count()), "-", "-", "-"},
               widths);
     json_rows.push_back(JsonObject()
                             .set_string("approach", "FBF")
+                            .set_bool("success", a.success)
                             .set_number("seconds", t)
                             .set_integer("brokers", a.brokers_used())
                             .set_integer("clusters", a.unit_count())
@@ -78,11 +88,12 @@ int main() {
     Allocation a;
     const double t =
         time_of([&] { a = bin_packing_allocate(pool, units, info.publisher_table); });
-    print_row({"BINPACKING", fmt(t, 4), std::to_string(a.brokers_used()),
+    print_row({"BINPACKING", fmt(t, 4), broker_cell(a, "BINPACKING"),
                std::to_string(a.unit_count()), "-", "-", "-"},
               widths);
     json_rows.push_back(JsonObject()
                             .set_string("approach", "BINPACKING")
+                            .set_bool("success", a.success)
                             .set_number("seconds", t)
                             .set_integer("brokers", a.brokers_used())
                             .set_integer("clusters", a.unit_count())
@@ -111,7 +122,7 @@ int main() {
     } else {
       prunable_max = std::max(prunable_max, t);
     }
-    print_row({name, fmt(t, 4), std::to_string(r.allocation.brokers_used()),
+    print_row({name, fmt(t, 4), broker_cell(r.allocation, name.c_str()),
                std::to_string(r.allocation.unit_count()),
                std::to_string(r.stats.closeness_computations),
                std::to_string(r.stats.allocation_runs),
@@ -119,6 +130,7 @@ int main() {
               widths);
     json_rows.push_back(JsonObject()
                             .set_string("approach", name)
+                            .set_bool("success", r.allocation.success)
                             .set_number("seconds", t)
                             .set_integer("brokers", r.allocation.brokers_used())
                             .set_integer("clusters", r.allocation.unit_count())

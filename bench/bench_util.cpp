@@ -181,6 +181,8 @@ JsonObject run_result_json(const RunResult& r) {
   JsonObject row;
   row.set_string("approach", approach_name(r.approach))
       .set_bool("reconfigured", r.reconfigured)
+      .set_bool("reconfigure_success", r.report.success)
+      .set_string("failure_reason", failure_reason_name(r.report.failure))
       .set_number("wall_s", r.wall_s)
       .set_integer("events", r.events)
       .set_number("events_per_s", r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0)

@@ -1,4 +1,15 @@
 #include "broker/broker.hpp"
 
-// Broker is header-only today; translation unit kept for future out-of-line
-// growth and to anchor the library target.
+namespace greenps {
+
+void Broker::on_crash() {
+  crashed_ = true;
+  // Queued matching work and the output backlog die with the process; the
+  // restart begins with idle queues. CBC profiles and routing tables are
+  // durable state and survive.
+  reset_queues();
+}
+
+void Broker::on_restart() { crashed_ = false; }
+
+}  // namespace greenps

@@ -67,6 +67,14 @@ class Broker {
     out_link_.reset();
   }
 
+  // --- fault injection (sim/faults) ---
+  // A crashed broker drops every message that reaches it and detaches its
+  // clients until restart. Routing tables and CBC profiles survive (warm
+  // restart); queued work is dropped.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  void on_crash();
+  void on_restart();
+
  private:
   BrokerId id_;
   BrokerCapacity capacity_;
@@ -75,6 +83,7 @@ class Broker {
   CbcComponent cbc_;
   FifoServer matcher_;
   BandwidthLimiter out_link_;
+  bool crashed_ = false;
 };
 
 }  // namespace greenps

@@ -55,8 +55,20 @@ ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
   GatheredInfo info;
   {
     GREENPS_SPAN("croc.phase1.gather");
-    info = gather_information(sim.deployment().topology, entry,
-                              [&sim](BrokerId b) { return sim.broker_info(b); });
+    // Crashed brokers answer nothing: Phase 1 times out on them (bounded
+    // retry in the gatherer) and CROC plans from the brokers that answered.
+    info = gather_information(sim.deployment().topology, entry, [&sim](BrokerId b) {
+      return sim.broker_info_if_reachable(b);
+    });
+  }
+  if (info.brokers.empty()) {
+    ReconfigurationReport report;
+    report.failure = FailureReason::kGatherFailed;
+    report.gather = info.stats;
+    report.phase1_seconds = seconds_since(t0);
+    log::warn("phase 1 gathered no broker info (entry broker ", entry.value(),
+              " unreachable?); reconfiguration aborted");
+    return report;
   }
   ReconfigurationReport report = plan_from_info(info);
   report.phase1_seconds = seconds_since(t0) - report.phase2_seconds -
@@ -68,14 +80,18 @@ ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
 
 MigrationCost migration_cost(const Deployment& current, const ReconfigurationPlan& plan) {
   MigrationCost cost;
+  cost.subscribers_total = current.subscribers.size();
+  cost.publishers_total = current.publishers.size();
+  // An empty plan (failed reconfiguration) moves nothing: without this
+  // guard every client would count as "moved to the root" and every
+  // current broker as decommissioned, for a plan that never ran.
+  if (plan.overlay.brokers().empty()) return cost;
   for (const auto& s : current.subscribers) {
-    cost.subscribers_total += 1;
     const auto it = plan.subscriber_home.find(s.sub);
     const BrokerId target = it != plan.subscriber_home.end() ? it->second : plan.root;
     if (target != s.home) cost.subscribers_moved += 1;
   }
   for (const auto& p : current.publishers) {
-    cost.publishers_total += 1;
     const auto it = plan.publisher_home.find(p.client);
     const BrokerId target = it != plan.publisher_home.end() ? it->second : plan.root;
     if (target != p.home) cost.publishers_moved += 1;
@@ -94,6 +110,14 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
   Rng rng(config_.seed);
   const PublisherTable& table = info.publisher_table;
   std::vector<AllocBroker> pool = pool_from(info);
+  if (pool.empty()) {
+    // Nothing answered the BIR (total gather failure): there is no broker
+    // to allocate onto, and the no-subscription fallback below would index
+    // an empty pool.
+    report.failure = FailureReason::kGatherFailed;
+    log::warn("plan_from_info: gathered info names no brokers; nothing to plan");
+    return report;
+  }
   for (AllocBroker& b : pool) b.out_bw *= config_.capacity_headroom;
   std::vector<SubUnit> units = units_from(info);
 
@@ -137,6 +161,7 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
   }
   report.phase2_seconds = seconds_since(t2);
   if (!phase2.success) {
+    report.failure = FailureReason::kPhase2Insufficient;
     log::warn("phase 2 (", algorithm_name(config_.algorithm),
               ") failed: insufficient broker resources");
     return report;

@@ -55,6 +55,8 @@ struct MigrationCost {
 
 struct ReconfigurationReport {
   bool success = false;
+  // Why success is false; kNone while success is true.
+  FailureReason failure = FailureReason::kNone;
   ReconfigurationPlan plan;
   GatherStats gather;
   CramStats cram;                // populated when CRAM ran
@@ -78,6 +80,9 @@ class Croc {
 
   // Run all phases against a live simulation, entering the overlay at
   // `entry`. The returned plan is not applied; pass it to apply_plan().
+  // Tolerates crashed brokers: Phase 1 times out on them (bounded retry)
+  // and plans from whatever answered; a crashed *entry* broker fails the
+  // report with FailureReason::kGatherFailed.
   [[nodiscard]] ReconfigurationReport reconfigure(const Simulation& sim, BrokerId entry);
 
   // Phases 2+3 from already-gathered information (also used by benches that

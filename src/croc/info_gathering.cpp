@@ -1,5 +1,6 @@
 #include "croc/info_gathering.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -10,20 +11,51 @@ namespace greenps {
 
 namespace {
 
+// Query one broker with bounded retry + exponential backoff. Each retry
+// models a re-sent BIR after a timeout; the backoff accumulates into the
+// stats as simulated waiting time.
+std::optional<BrokerInfo> query_with_retry(BrokerId b, const BrokerInfoProvider& provider,
+                                           const GatherOptions& options,
+                                           GatherStats& stats) {
+  const std::size_t attempts = std::max<std::size_t>(options.attempts_per_broker, 1);
+  double backoff = options.retry_backoff_s;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      stats.retries += 1;
+      stats.backoff_s += backoff;
+      backoff *= 2;
+    }
+    if (std::optional<BrokerInfo> info = provider(b)) return info;
+  }
+  return std::nullopt;
+}
+
 // Recursive subtree gather: broker `b` received a BIR from `parent`
 // (or from CROC when parent == b). Returns the aggregated BIA of b's
-// subtree and accounts protocol messages.
+// subtree and accounts protocol messages. An unreachable broker is skipped
+// but its subtree is still gathered: CROC knows the overlay and reroutes
+// the BIR around the hole.
 BrokerInformationAnswer gather_subtree(const Topology& overlay, BrokerId b, BrokerId parent,
                                        const BrokerInfoProvider& provider,
+                                       const GatherOptions& options,
                                        std::unordered_set<BrokerId>& visited,
                                        GatherStats& stats) {
   visited.insert(b);
   BrokerInformationAnswer answer;
+  // Query b up front so an unreachable entry can abort before any fan-out;
+  // its info is still appended *after* the children reply, preserving the
+  // protocol's aggregation order.
+  std::optional<BrokerInfo> self = query_with_retry(b, provider, options, stats);
+  if (!self.has_value()) {
+    stats.unreachable_brokers += 1;
+    if (b == parent) return answer;  // unreachable entry: nowhere to inject the BIR
+  }
   // Broadcast the BIR to all (unvisited) neighbors, then wait for their BIAs.
   for (const BrokerId n : overlay.neighbors(b)) {
     if (n == parent || visited.contains(n)) continue;
     stats.bir_messages += 1;
-    BrokerInformationAnswer child = gather_subtree(overlay, n, b, provider, visited, stats);
+    BrokerInformationAnswer child =
+        gather_subtree(overlay, n, b, provider, options, visited, stats);
     stats.bia_messages += 1;  // the child's aggregated BIA crosses one link
     answer.infos.insert(answer.infos.end(),
                         std::make_move_iterator(child.infos.begin()),
@@ -31,22 +63,25 @@ BrokerInformationAnswer gather_subtree(const Topology& overlay, BrokerId b, Brok
   }
   // Only now (no unanswered neighbors left) does b add its own info and
   // reply.
-  answer.infos.push_back(provider(b));
-  stats.brokers_answered += 1;
+  if (self.has_value()) {
+    answer.infos.push_back(std::move(*self));
+    stats.brokers_answered += 1;
+  }
   return answer;
 }
 
 }  // namespace
 
 GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
-                                const BrokerInfoProvider& provider) {
+                                const BrokerInfoProvider& provider,
+                                const GatherOptions& options) {
   assert(overlay.has_broker(entry));
   GatheredInfo out;
   std::unordered_set<BrokerId> visited;
   out.stats.bir_messages += 1;  // CROC -> entry broker
   BrokerInformationAnswer root =
-      gather_subtree(overlay, entry, entry, provider, visited, out.stats);
-  out.stats.bia_messages += 1;  // entry broker -> CROC
+      gather_subtree(overlay, entry, entry, provider, options, visited, out.stats);
+  out.stats.bia_messages += 1;  // entry broker -> CROC (or its timeout)
   out.brokers = std::move(root.infos);
 
   for (const BrokerInfo& info : out.brokers) {
@@ -63,6 +98,10 @@ GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
   reg.counter("croc.bir_messages").add(out.stats.bir_messages);
   reg.counter("croc.bia_messages").add(out.stats.bia_messages);
   reg.counter("croc.brokers_answered").add(out.stats.brokers_answered);
+  if (out.stats.unreachable_brokers > 0) {
+    reg.counter("croc.gather_unreachable").add(out.stats.unreachable_brokers);
+    reg.counter("croc.gather_retries").add(out.stats.retries);
+  }
   GREENPS_COUNTER("croc.gather.brokers_answered", out.stats.brokers_answered);
   return out;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "croc/messages.hpp"
 #include "overlay/topology.hpp"
@@ -19,6 +20,9 @@ struct GatherStats {
   std::size_t bir_messages = 0;  // one per overlay link traversed (+ entry)
   std::size_t bia_messages = 0;  // one per link, aggregated
   std::size_t brokers_answered = 0;
+  std::size_t unreachable_brokers = 0;  // every attempt timed out
+  std::size_t retries = 0;              // BIRs re-sent after a timeout
+  double backoff_s = 0;                 // simulated time spent waiting on timeouts
 };
 
 struct GatheredInfo {
@@ -29,13 +33,28 @@ struct GatheredInfo {
   GatherStats stats;
 };
 
-// `provider` plays the role of each broker's CBC answering the BIR.
-using BrokerInfoProvider = std::function<BrokerInfo(BrokerId)>;
+// `provider` plays the role of each broker's CBC answering the BIR; nullopt
+// models a timeout (the broker is down or unreachable). Lambdas returning a
+// plain BrokerInfo still convert — infallible providers need no change.
+using BrokerInfoProvider = std::function<std::optional<BrokerInfo>(BrokerId)>;
+
+// Per-broker timeout/retry policy for a gather over a degraded overlay.
+struct GatherOptions {
+  // Total query attempts per broker (1 first try + bounded retries).
+  std::size_t attempts_per_broker = 3;
+  // Simulated wait after the first timeout; doubles on each further retry.
+  double retry_backoff_s = 0.05;
+};
 
 // Runs the protocol starting at `entry`. The overlay must be connected;
 // cycles are tolerated (a broker answers its first BIR and ignores others,
-// as the dedup rule implies).
+// as the dedup rule implies). Brokers whose every attempt times out are
+// skipped (counted in stats.unreachable_brokers) and the traversal routes
+// around them — CROC knows the overlay, so the rest of the tree still
+// answers. An unreachable *entry* broker aborts the gather with an empty
+// result: there is nowhere to inject the BIR.
 [[nodiscard]] GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
-                                              const BrokerInfoProvider& provider);
+                                              const BrokerInfoProvider& provider,
+                                              const GatherOptions& options = {});
 
 }  // namespace greenps

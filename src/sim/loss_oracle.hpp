@@ -1,0 +1,58 @@
+// Delivery-loss oracle for chaos runs.
+//
+// Per-symbol quote streams are deterministic given (seed, symbol), and the
+// simulator draws a quote and advances the sequence counter even when the
+// publisher's home broker is down. So after a faulted run we can replay the
+// publication ledger offline, recompute which publications each subscriber
+// should have received, and classify every missed delivery: *excused* when
+// an injected fault accounts for it (publisher or subscriber homed on a
+// crashed broker around publish time, message parked in a retransmit
+// buffer, or still in flight at the horizon) or a *real loss* otherwise.
+// With retransmit-on-reconnect enabled and faults limited to broker
+// outages, a correct simulator produces zero real losses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "workload/stock_quote.hpp"
+
+namespace greenps {
+
+struct LossAuditOptions {
+  // Pad each outage window backwards: a message published this long before
+  // the crash may still have been in flight toward the dying broker.
+  SimTime outage_slack = seconds(0.25);
+  // Publications this close to the measurement horizon may still be in
+  // flight when the run stops.
+  SimTime horizon_slack = seconds(0.25);
+};
+
+// One missed delivery with no fault to blame.
+struct MissedDelivery {
+  SubId sub{};
+  AdvId adv{};
+  MessageSeq seq = 0;
+  SimTime published_at = 0;
+};
+
+struct LossAudit {
+  std::uint64_t expected = 0;         // matching (sub, publication) pairs audited
+  std::uint64_t recorded = 0;         // delivered and profiled by the CBC
+  std::uint64_t excused = 0;          // missed, attributable to an injected fault
+  std::uint64_t out_of_window = 0;    // slid out of the profiling window; unauditable
+  std::uint64_t false_positives = 0;  // profile bit set for a non-matching publication
+  std::vector<MissedDelivery> real_losses;
+
+  [[nodiscard]] bool clean() const {
+    return real_losses.empty() && false_positives == 0;
+  }
+};
+
+// `quotes` must be a fresh generator built from the same seed as the run's
+// (regeneration restarts every symbol stream from the beginning).
+[[nodiscard]] LossAudit audit_losses(const Simulation& sim, StockQuoteGenerator quotes,
+                                     const LossAuditOptions& options = {});
+
+}  // namespace greenps

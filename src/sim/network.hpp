@@ -11,6 +11,9 @@ namespace greenps {
 struct NetworkConfig {
   SimTime link_latency = seconds(0.0005);    // 0.5 ms between brokers (LAN)
   SimTime client_latency = seconds(0.0002);  // 0.2 ms broker <-> client
+  // Delay before messages buffered for a crashed broker are replayed after
+  // its restart (retransmit-on-reconnect; see sim/faults.hpp).
+  SimTime reconnect_latency = seconds(0.001);
 };
 
 }  // namespace greenps

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "matching/relations.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace greenps {
@@ -37,6 +38,13 @@ void Simulation::redeploy(Deployment deployment) {
   publishers_scheduled_ = false;
   sample_baselines_.clear();
   sampler_scheduled_ = false;
+  // Fault epoch ends with the deployment: pending fault events died with
+  // the queue, active faults and buffers are meaningless for new brokers.
+  faults_active_ = false;
+  faults_.reset();
+  retransmit_.clear();
+  publish_ledger_.clear();
+  ledger_enabled_ = false;
   for (const BrokerId b : deployment_.topology.brokers()) {
     const auto cap_it = deployment_.capacities.find(b);
     const BrokerCapacity cap =
@@ -121,12 +129,21 @@ void Simulation::publish(std::size_t pub_index) {
   pub->set_header(st.spec.adv, seq);
   metrics_.on_publication();
   Broker& home = broker(st.spec.home);
-  home.cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
-
-  const SimTime arrival = now + net_.client_latency;
-  queue_.schedule(arrival, [this, pub = std::move(pub), br = &home, now] {
-    arrive_at_broker(*br, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
-  });
+  // A crashed home broker rejects the publication at its door. The quote
+  // draw and sequence increment above still happened, so the per-symbol
+  // price walk and seq<->quote mapping stay aligned with a fault-free run
+  // and the loss oracle can regenerate exactly what was lost.
+  const bool home_down = faults_active_ && home.crashed();
+  if (ledger_enabled_) publish_ledger_.push_back({st.spec.adv, seq, now, home_down});
+  if (home_down) {
+    faults_.stats().pubs_dropped_at_source += 1;
+  } else {
+    home.cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
+    const SimTime arrival = now + net_.client_latency;
+    queue_.schedule(arrival, [this, pub = std::move(pub), br = &home, now] {
+      arrive_at_broker(*br, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
+    });
+  }
 
   // Next publication, fixed inter-arrival spacing.
   const auto period = static_cast<SimTime>(
@@ -139,6 +156,18 @@ void Simulation::arrive_at_broker(Broker& br, std::shared_ptr<const Publication>
                                   BrokerId from, bool has_from, int broker_hops,
                                   SimTime publish_time) {
   const BrokerId b = br.id();
+  if (faults_active_ && br.crashed()) {
+    // Messages aimed at a dead broker never enter its queues. With
+    // retransmit-on-reconnect the neighbor holds the message and replays
+    // it after the restart (store-and-forward); otherwise it is lost.
+    faults_.stats().arrivals_dropped += 1;
+    if (fault_options_.retransmit_on_reconnect) {
+      buffer_for_retransmit(
+          b, BufferedArrival{std::move(pub), from, has_from, /*is_delivery=*/false,
+                             SubId{}, broker_hops, publish_time});
+    }
+    return;
+  }
   BrokerTraffic& traffic = metrics_.traffic_for(b);
   traffic.msgs_in += 1;
   const int hops_here = broker_hops + 1;
@@ -157,9 +186,22 @@ void Simulation::arrive_at_broker(Broker& br, std::shared_ptr<const Publication>
 
   const MsgSize size = pub->size_kb();
   for (const BrokerId next : decision.forward_to) {
+    if (faults_active_) {
+      if (faults_.link_is_down(b, next)) {
+        faults_.stats().msgs_dropped_link_down += 1;
+        continue;
+      }
+      const double p = faults_.drop_prob(b, next);
+      if (p > 0 && fault_rng_.chance(p)) {
+        faults_.stats().msgs_dropped_random += 1;
+        continue;
+      }
+    }
     const SimTime sent_at = br.out_link().transmit(matched_at, size);
     traffic.msgs_out += 1;
-    queue_.schedule(sent_at + net_.link_latency,
+    const SimTime hop_latency =
+        net_.link_latency + (faults_active_ ? faults_.extra_latency() : 0);
+    queue_.schedule(sent_at + hop_latency,
                     [this, next_br = &broker(next), pub, b, hops_here, publish_time] {
                       arrive_at_broker(*next_br, pub, b, /*has_from=*/true, hops_here,
                                        publish_time);
@@ -171,10 +213,150 @@ void Simulation::arrive_at_broker(Broker& br, std::shared_ptr<const Publication>
     const SimTime delivered_at = sent_at + net_.client_latency;
     queue_.schedule(delivered_at, [this, b, here = &br, sub_id = sub_id, pub, hops_here,
                                    publish_time, delivered_at] {
+      if (faults_active_ && here->crashed()) {
+        // The home broker died while the message was on the client link:
+        // the subscriber is detached, so the delivery never lands. With
+        // retransmit enabled it is re-delivered after the restart.
+        faults_.stats().deliveries_dropped += 1;
+        if (fault_options_.retransmit_on_reconnect) {
+          buffer_for_retransmit(b, BufferedArrival{pub, BrokerId{}, false,
+                                                   /*is_delivery=*/true, sub_id,
+                                                   hops_here, publish_time});
+        }
+        return;
+      }
       metrics_.on_delivery(b, hops_here, delivered_at - publish_time);
       here->cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
     });
   }
+}
+
+void Simulation::install_faults(FaultSchedule schedule, FaultOptions options) {
+  fault_options_ = options;
+  ledger_enabled_ = true;  // the loss oracle needs the ledger either way
+  if (schedule.empty()) return;
+  faults_active_ = true;
+  for (const FaultEvent& ev : schedule.events()) {
+    queue_.schedule(std::max(ev.at, queue_.now()), [this, ev] { apply_fault(ev); });
+  }
+}
+
+void Simulation::inject_fault(FaultEvent ev) {
+  ev.at = queue_.now();
+  faults_active_ = true;
+  ledger_enabled_ = true;
+  apply_fault(ev);
+}
+
+void Simulation::apply_fault(const FaultEvent& scheduled) {
+  // Stamp with the actual fire time: events armed in the past were clamped
+  // to "now", and outage windows must reflect when the broker really died.
+  FaultEvent ev = scheduled;
+  ev.at = queue_.now();
+  auto& reg = obs::MetricsRegistry::global();
+  switch (ev.kind) {
+    case FaultKind::kBrokerCrash: {
+      const auto it = brokers_.find(ev.broker);
+      if (it == brokers_.end() || it->second->crashed()) return;
+      it->second->on_crash();
+      faults_.apply(ev);
+      obs::trace_instant("fault.broker_crash", static_cast<std::uint64_t>(ev.broker.value()));
+      reg.counter("fault.broker_crashes").add(1);
+      break;
+    }
+    case FaultKind::kBrokerRestart: {
+      const auto it = brokers_.find(ev.broker);
+      if (it == brokers_.end() || !it->second->crashed()) return;
+      it->second->on_restart();
+      faults_.apply(ev);
+      obs::trace_instant("fault.broker_restart", static_cast<std::uint64_t>(ev.broker.value()));
+      reg.counter("fault.broker_restarts").add(1);
+      if (fault_options_.retransmit_on_reconnect) replay_retransmits(ev.broker);
+      break;
+    }
+    case FaultKind::kLinkDown:
+      faults_.apply(ev);
+      obs::trace_instant("fault.link_down", static_cast<std::uint64_t>(ev.broker.value()));
+      reg.counter("fault.link_downs").add(1);
+      break;
+    case FaultKind::kLinkUp:
+      faults_.apply(ev);
+      obs::trace_instant("fault.link_up", static_cast<std::uint64_t>(ev.broker.value()));
+      reg.counter("fault.link_ups").add(1);
+      break;
+    case FaultKind::kLinkDrop:
+      faults_.apply(ev);
+      obs::trace_instant("fault.link_drop");
+      reg.counter("fault.link_drop_windows").add(1);
+      break;
+    case FaultKind::kLatencySpike:
+      faults_.apply(ev);
+      obs::trace_instant("fault.latency_spike");
+      reg.counter("fault.latency_spikes").add(1);
+      break;
+  }
+  GREENPS_COUNTER("fault.crashed_brokers", faults_.crashed_count());
+}
+
+void Simulation::buffer_for_retransmit(BrokerId at, BufferedArrival&& entry) {
+  auto& buf = retransmit_[at];
+  if (buf.size() >= fault_options_.max_retransmit_buffer) {
+    faults_.stats().retransmit_overflow += 1;
+    return;
+  }
+  buf.push_back(std::move(entry));
+}
+
+void Simulation::replay_retransmits(BrokerId restarted) {
+  const auto it = retransmit_.find(restarted);
+  if (it == retransmit_.end() || it->second.empty()) return;
+  std::vector<BufferedArrival> entries = std::move(it->second);
+  retransmit_.erase(it);
+  const SimTime at = queue_.now() + net_.reconnect_latency;
+  Broker* br = &broker(restarted);
+  obs::trace_instant("fault.retransmit_replay", entries.size());
+  for (BufferedArrival& e : entries) {
+    faults_.stats().retransmits_replayed += 1;
+    if (e.is_delivery) {
+      // Final hop was lost: re-deliver straight to the local subscriber.
+      queue_.schedule(at, [this, br, e = std::move(e)] {
+        if (br->crashed()) {  // crashed again before the replay fired
+          faults_.stats().deliveries_dropped += 1;
+          if (fault_options_.retransmit_on_reconnect) {
+            buffer_for_retransmit(br->id(), BufferedArrival{e});
+          }
+          return;
+        }
+        metrics_.traffic_for(br->id()).msgs_out += 1;
+        metrics_.on_delivery(br->id(), e.broker_hops, queue_.now() - e.publish_time);
+        br->cbc().record_delivery(e.sub, e.pub->adv_id(), e.pub->seq());
+      });
+    } else {
+      // Re-run the arrival; arrive_at_broker re-buffers if `br` is down again.
+      queue_.schedule(at, [this, br, e = std::move(e)] {
+        arrive_at_broker(*br, e.pub, e.from, e.has_from, e.broker_hops, e.publish_time);
+      });
+    }
+  }
+}
+
+bool Simulation::broker_alive(BrokerId id) const {
+  const auto it = brokers_.find(id);
+  return it != brokers_.end() && !it->second->crashed();
+}
+
+std::optional<BrokerInfo> Simulation::broker_info_if_reachable(BrokerId id) const {
+  if (!broker_alive(id)) return std::nullopt;
+  return broker_info(id);
+}
+
+std::set<std::pair<AdvId, MessageSeq>> Simulation::pending_retransmits() const {
+  std::set<std::pair<AdvId, MessageSeq>> out;
+  for (const auto& [b, buf] : retransmit_) {
+    (void)b;
+    for (const BufferedArrival& e : buf) out.emplace(e.pub->adv_id(), e.pub->seq());
+  }
+  return out;
 }
 
 void Simulation::run(double duration_s) {
@@ -240,8 +422,12 @@ void Simulation::take_sample() {
     const double in_rate = static_cast<double>(in_now - base.msgs_in) / interval_s;
     const double out_rate = static_cast<double>(out_now - base.msgs_out) / interval_s;
     const double backlog_s = to_seconds(std::max<SimTime>(br.out_link().busy_until() - now, 0));
-    const double util =
-        static_cast<double>(busy_now - base.busy_us) / static_cast<double>(sample_interval_us_);
+    // A crash resets the output link's busy counter, so the delta can go
+    // negative mid-outage; clamp (no-op in fault-free runs, where busy
+    // time is monotone).
+    const double util = std::max(
+        0.0,
+        static_cast<double>(busy_now - base.busy_us) / static_cast<double>(sample_interval_us_));
     sampler_.append(to_seconds(now), id.value(), {in_rate, out_rate, backlog_s, util});
     base = {in_now, out_now, busy_now};
   }

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "broker/broker.hpp"
@@ -19,6 +22,7 @@
 #include "obs/sampler.hpp"
 #include "overlay/topology.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/publication_pool.hpp"
@@ -74,6 +78,42 @@ class Simulation {
   // BIA payload for one broker (what its CBC currently knows).
   [[nodiscard]] BrokerInfo broker_info(BrokerId id) const;
 
+  // --- fault injection ---
+  // Arm a fault script for the current epoch: its events fire on the sim
+  // clock interleaved with regular traffic. Also enables the publication
+  // ledger. An empty schedule arms nothing and draws nothing, so the event
+  // stream stays bit-identical to a run without faults. redeploy() clears
+  // any remaining scheduled faults along with the rest of the queue —
+  // install a fresh schedule per epoch.
+  void install_faults(FaultSchedule schedule, FaultOptions options = {});
+  // Apply one fault right now (tests, mid-apply chaos probes).
+  void inject_fault(FaultEvent ev);
+  [[nodiscard]] const FaultState& fault_state() const { return faults_; }
+  // In the deployment and not currently crashed.
+  [[nodiscard]] bool broker_alive(BrokerId id) const;
+  // BIA if the broker answers; nullopt while it is crashed (Phase 1's
+  // per-broker timeout expires against a dead CBC).
+  [[nodiscard]] std::optional<BrokerInfo> broker_info_if_reachable(BrokerId id) const;
+
+  // --- publication ledger (delivery-loss oracle) ---
+  // One row per publication emitted this epoch; enabled by install_faults()
+  // or explicitly. Recording is observation-only: the event stream is
+  // untouched.
+  struct PublishRecord {
+    AdvId adv;
+    MessageSeq seq = 0;
+    SimTime at = 0;
+    bool dropped_at_source = false;  // publisher's home broker was down
+  };
+  void set_publication_ledger(bool enabled) { ledger_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<PublishRecord>& publish_ledger() const {
+    return publish_ledger_;
+  }
+  // (adv, seq) pairs sitting in retransmit buffers, awaiting a restart.
+  [[nodiscard]] std::set<std::pair<AdvId, MessageSeq>> pending_retransmits() const;
+  // Current position of the sim clock (end of the last run horizon).
+  [[nodiscard]] SimTime now_us() const { return queue_.now(); }
+
   [[nodiscard]] SimSummary summarize() const;
   void reset_metrics();
 
@@ -99,6 +139,12 @@ class Simulation {
   void take_sample();
   void schedule_publisher(std::size_t pub_index, SimTime first);
   void publish(std::size_t pub_index);
+  // Fire one fault: flip FaultState, sync the Broker object, emit obs
+  // trace/metrics, and on restart replay any buffered messages.
+  struct BufferedArrival;
+  void apply_fault(const FaultEvent& ev);
+  void buffer_for_retransmit(BrokerId at, BufferedArrival&& entry);
+  void replay_retransmits(BrokerId restarted);
   // `br` is resolved at schedule time (broker storage is stable between
   // redeploys and the queue is cleared on redeploy), saving an id lookup
   // per hop and per delivery on the hot path.
@@ -124,6 +170,30 @@ class Simulation {
   std::unordered_set<BrokerId> client_hosts_;
   double measured_s_ = 0;
   bool publishers_scheduled_ = false;
+
+  // --- fault injection state ---
+  // `faults_active_` gates every hook on the hot path: when false (no
+  // schedule installed this epoch) the simulator takes exactly the same
+  // branches and draws exactly the same random numbers as a build without
+  // fault support, keeping fault-free runs bit-identical.
+  bool faults_active_ = false;
+  FaultOptions fault_options_;
+  FaultState faults_;
+  // Dedicated stream so fault-related draws never perturb workload RNG.
+  Rng fault_rng_{0x9e3779b97f4a7c15ull};
+  bool ledger_enabled_ = false;
+  std::vector<PublishRecord> publish_ledger_;
+  // A message held at a crashed broker, awaiting restart (retransmit).
+  struct BufferedArrival {
+    std::shared_ptr<const Publication> pub;
+    BrokerId from{};
+    bool has_from = false;
+    bool is_delivery = false;  // final hop: deliver to `sub` on replay
+    SubId sub{};
+    int broker_hops = 0;
+    SimTime publish_time = 0;
+  };
+  std::unordered_map<BrokerId, std::vector<BufferedArrival>> retransmit_;
 
   // Previous-sample counters so each sample reports per-interval deltas.
   struct SampleBaseline {

@@ -1,0 +1,422 @@
+// Fault injection must be invisible when disabled and deterministic when
+// armed. The toggle tests mirror routing_fastpath_test.cpp: a simulation
+// with an *empty* FaultSchedule installed must be bit-identical — every
+// SimSummary field, exact doubles included — to one that never heard of
+// faults, and CROC must plan the identical reconfiguration from both.
+// Seeded chaos schedules must replay identically across runs and CRAM
+// thread counts. The remaining tests pin the resilient-gather, crashed
+// entry, transactional-apply rollback and retransmit-loss semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "croc/croc.hpp"
+#include "croc/info_gathering.hpp"
+#include "croc/reconfig_plan.hpp"
+#include "language/parser.hpp"
+#include "overlay/topology_builder.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/faults.hpp"
+#include "sim/loss_oracle.hpp"
+#include "sim/simulation.hpp"
+
+namespace greenps {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg;
+  cfg.num_brokers = 12;
+  cfg.num_publishers = 4;
+  cfg.subs_per_publisher = 8;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void expect_summaries_identical(const SimSummary& a, const SimSummary& b) {
+  EXPECT_EQ(a.publications, b.publications);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.broker_msgs_total, b.broker_msgs_total);
+  EXPECT_EQ(a.brokers_with_traffic, b.brokers_with_traffic);
+  EXPECT_EQ(a.allocated_brokers, b.allocated_brokers);
+  EXPECT_EQ(a.pure_forwarding_brokers, b.pure_forwarding_brokers);
+  // Doubles compared exactly: fault hooks must not perturb a single event.
+  EXPECT_EQ(a.avg_hop_count, b.avg_hop_count);
+  EXPECT_EQ(a.avg_delivery_delay_ms, b.avg_delivery_delay_ms);
+  EXPECT_EQ(a.p50_delivery_delay_ms, b.p50_delivery_delay_ms);
+  EXPECT_EQ(a.p99_delivery_delay_ms, b.p99_delivery_delay_ms);
+  EXPECT_EQ(a.system_msg_rate, b.system_msg_rate);
+  EXPECT_EQ(a.avg_broker_msg_rate, b.avg_broker_msg_rate);
+  EXPECT_EQ(a.avg_output_utilization, b.avg_output_utilization);
+}
+
+// Plans compare by placement, not by timing fields.
+void expect_plans_identical(const ReconfigurationPlan& a, const ReconfigurationPlan& b) {
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.allocated_brokers, b.allocated_brokers);
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+  ASSERT_EQ(a.subscriber_home.size(), b.subscriber_home.size());
+  for (const auto& [sub, home] : a.subscriber_home) {
+    const auto it = b.subscriber_home.find(sub);
+    ASSERT_NE(it, b.subscriber_home.end());
+    EXPECT_EQ(it->second, home);
+  }
+  ASSERT_EQ(a.publisher_home.size(), b.publisher_home.size());
+  for (const auto& [client, home] : a.publisher_home) {
+    const auto it = b.publisher_home.find(client);
+    ASSERT_NE(it, b.publisher_home.end());
+    EXPECT_EQ(it->second, home);
+  }
+}
+
+void expect_fault_stats_identical(const FaultStats& a, const FaultStats& b) {
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.link_downs, b.link_downs);
+  EXPECT_EQ(a.link_ups, b.link_ups);
+  EXPECT_EQ(a.pubs_dropped_at_source, b.pubs_dropped_at_source);
+  EXPECT_EQ(a.arrivals_dropped, b.arrivals_dropped);
+  EXPECT_EQ(a.deliveries_dropped, b.deliveries_dropped);
+  EXPECT_EQ(a.msgs_dropped_link_down, b.msgs_dropped_link_down);
+  EXPECT_EQ(a.msgs_dropped_random, b.msgs_dropped_random);
+  EXPECT_EQ(a.retransmits_replayed, b.retransmits_replayed);
+  EXPECT_EQ(a.retransmit_overflow, b.retransmit_overflow);
+}
+
+std::vector<std::pair<BrokerId, BrokerId>> links_of(const Topology& t) {
+  std::vector<std::pair<BrokerId, BrokerId>> links;
+  for (const BrokerId a : t.brokers()) {
+    for (const BrokerId b : t.neighbors(a)) {
+      if (a.value() < b.value()) links.emplace_back(a, b);
+    }
+  }
+  return links;
+}
+
+// An empty schedule must not change a single bit of observable behavior:
+// no fault event is armed, no fault RNG draw happens, and the publication
+// ledger is passive bookkeeping.
+TEST(FaultInjection, EmptyScheduleIsBitIdenticalToFaultFreeRun) {
+  const ScenarioConfig cfg = small_scenario();
+  const auto run = [&cfg](bool install_empty_schedule) {
+    Simulation sim = make_simulation(cfg);
+    if (install_empty_schedule) {
+      FaultOptions opts;
+      opts.retransmit_on_reconnect = true;  // options alone must be inert too
+      sim.install_faults(FaultSchedule{}, opts);
+    }
+    sim.run(5.0);
+    sim.reset_metrics();
+    sim.run(10.0);
+    Croc croc(CrocConfig{});
+    const ReconfigurationReport report = croc.reconfigure(sim, BrokerId{0});
+    EXPECT_TRUE(report.success);
+    return std::pair{sim.summarize(), report.plan};
+  };
+  auto [plain_summary, plain_plan] = run(false);
+  auto [armed_summary, armed_plan] = run(true);
+  EXPECT_GT(plain_summary.deliveries, 0u);
+  expect_summaries_identical(plain_summary, armed_summary);
+  expect_plans_identical(plain_plan, armed_plan);
+}
+
+// The same seed must reproduce the same chaos — schedule, drops, replays,
+// and the full delivery trace — run after run.
+TEST(FaultInjection, SeededChaosReplaysIdentically) {
+  const ScenarioConfig cfg = small_scenario();
+  const auto run = [&cfg] {
+    Simulation sim = make_simulation(cfg);
+    sim.run(3.0);
+    FaultSchedule::ChaosConfig chaos;
+    chaos.horizon_s = 10.0;
+    chaos.crashes = 2;
+    chaos.mean_outage_s = 1.5;
+    chaos.link_flaps = 1;
+    chaos.drop_windows = 1;
+    chaos.drop_prob = 0.1;
+    Rng rng(777);
+    const Topology& topo = sim.deployment().topology;
+    FaultSchedule schedule = FaultSchedule::chaos(chaos, topo.brokers(), links_of(topo), rng);
+    EXPECT_FALSE(schedule.empty());
+    FaultOptions opts;
+    opts.retransmit_on_reconnect = true;
+    sim.install_faults(std::move(schedule), opts);
+    sim.run(10.0);
+    return std::pair{sim.summarize(), sim.fault_state().stats()};
+  };
+  const auto [summary1, stats1] = run();
+  const auto [summary2, stats2] = run();
+  EXPECT_GT(stats1.crashes, 0u);
+  EXPECT_EQ(stats1.crashes, stats1.restarts);  // chaos pairs every crash
+  expect_summaries_identical(summary1, summary2);
+  expect_fault_stats_identical(stats1, stats2);
+}
+
+// Planning from a faulted simulation must not depend on the CRAM thread
+// count: the parallel partner search merges deterministically.
+TEST(FaultInjection, FaultedReconfigurationInvariantAcrossThreadCounts) {
+  const ScenarioConfig cfg = small_scenario();
+  Simulation sim = make_simulation(cfg);
+  sim.run(3.0);
+  FaultSchedule schedule;
+  schedule.outage(seconds(1.0), seconds(2.0), BrokerId{3});
+  sim.install_faults(std::move(schedule), FaultOptions{});
+  sim.run(8.0);  // past the outage: broker 3 is back and answers the gather
+
+  const auto plan_with_threads = [&](std::size_t threads) {
+    CrocConfig croc_cfg;
+    croc_cfg.seed = cfg.seed;
+    croc_cfg.cram.threads = threads;
+    Croc croc(croc_cfg);
+    const ReconfigurationReport report = croc.reconfigure(sim, BrokerId{0});
+    EXPECT_TRUE(report.success);
+    return report.plan;
+  };
+  const ReconfigurationPlan serial = plan_with_threads(1);
+  const ReconfigurationPlan parallel = plan_with_threads(4);
+  expect_plans_identical(serial, parallel);
+}
+
+BrokerInfo fake_info(BrokerId b) {
+  BrokerInfo info;
+  info.id = b;
+  info.total_out_bw = 100.0 + static_cast<double>(b.value());
+  return info;
+}
+
+std::vector<BrokerId> ids(std::size_t n) {
+  std::vector<BrokerId> v;
+  for (std::size_t i = 0; i < n; ++i) v.emplace_back(i);
+  return v;
+}
+
+// An unreachable interior broker times out (bounded retries, doubling
+// backoff) and the traversal routes around it; everyone else answers.
+TEST(FaultInjection, GatherRoutesAroundUnreachableInteriorBroker) {
+  const Topology t = build_manual_tree(ids(9), 2);
+  const BrokerId dead{1};  // interior: has children in the manual tree
+  const GatheredInfo info =
+      gather_information(t, BrokerId{0}, [dead](BrokerId b) -> std::optional<BrokerInfo> {
+        if (b == dead) return std::nullopt;
+        return fake_info(b);
+      });
+  EXPECT_EQ(info.stats.unreachable_brokers, 1u);
+  EXPECT_EQ(info.stats.retries, 2u);  // 3 attempts = first try + 2 retries
+  EXPECT_GT(info.stats.backoff_s, 0.0);
+  EXPECT_EQ(info.stats.brokers_answered, 8u);
+  EXPECT_EQ(info.brokers.size(), 8u);
+  std::set<BrokerId> seen;
+  for (const auto& b : info.brokers) seen.insert(b.id);
+  EXPECT_FALSE(seen.contains(dead));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(FaultInjection, GatherFailsOnUnreachableEntryBroker) {
+  const Topology t = build_manual_tree(ids(5), 2);
+  GatherOptions opts;
+  opts.attempts_per_broker = 2;
+  const GatheredInfo info = gather_information(
+      t, BrokerId{0}, [](BrokerId) { return std::optional<BrokerInfo>{}; }, opts);
+  EXPECT_TRUE(info.brokers.empty());
+  EXPECT_EQ(info.stats.brokers_answered, 0u);
+  EXPECT_EQ(info.stats.unreachable_brokers, 1u);  // only the entry was tried
+}
+
+// Regression: a reconfiguration that never produced a plan must cost no
+// migrations — previously an empty plan counted every client as moved and
+// every broker as decommissioned.
+TEST(FaultInjection, CrashedEntryBrokerFailsReconfigureWithZeroMigrationCost) {
+  const ScenarioConfig cfg = small_scenario();
+  Simulation sim = make_simulation(cfg);
+  sim.run(3.0);
+  sim.inject_fault(FaultEvent{0, FaultKind::kBrokerCrash, BrokerId{0}, {}, 0, 0});
+  ASSERT_FALSE(sim.broker_alive(BrokerId{0}));
+
+  Croc croc(CrocConfig{});
+  const ReconfigurationReport report = croc.reconfigure(sim, BrokerId{0});
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.failure, FailureReason::kGatherFailed);
+  EXPECT_GE(report.gather.unreachable_brokers, 1u);
+  EXPECT_EQ(report.migration.subscribers_moved, 0u);
+  EXPECT_EQ(report.migration.publishers_moved, 0u);
+  EXPECT_EQ(report.migration.brokers_decommissioned, 0u);
+  EXPECT_EQ(report.migration.brokers_commissioned, 0u);
+
+  // A live entry still plans around the crashed broker.
+  const ReconfigurationReport live = croc.reconfigure(sim, BrokerId{1});
+  EXPECT_TRUE(live.success);
+  EXPECT_FALSE(live.plan.overlay.has_broker(BrokerId{0}));
+}
+
+struct PlannedScenario {
+  Simulation sim;
+  ReconfigurationPlan plan;
+};
+
+PlannedScenario planned_scenario() {
+  Simulation sim = make_simulation(small_scenario());
+  sim.run(5.0);
+  Croc croc(CrocConfig{});
+  ReconfigurationReport report = croc.reconfigure(sim, BrokerId{0});
+  EXPECT_TRUE(report.success);
+  return PlannedScenario{std::move(sim), std::move(report.plan)};
+}
+
+TEST(TransactionalApply, HealthyApplySucceedsEndToEnd) {
+  PlannedScenario ps = planned_scenario();
+  const ApplyResult result = apply_plan_transactional(ps.sim.deployment(), ps.plan);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.reason, FailureReason::kNone);
+  EXPECT_EQ(result.steps_applied, result.steps_total);
+  EXPECT_EQ(result.deployment.topology.brokers(), ps.plan.overlay.brokers());
+}
+
+TEST(TransactionalApply, MidApplyCrashRollsBackToOldDeployment) {
+  PlannedScenario ps = planned_scenario();
+  ASSERT_FALSE(ps.plan.allocated_brokers.empty());
+  const BrokerId victim = ps.plan.allocated_brokers.back();
+  const Deployment& old = ps.sim.deployment();
+  const ApplyResult result = apply_plan_transactional(
+      old, ps.plan, [victim](BrokerId b) { return b != victim; });
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.reason, FailureReason::kBrokerUnreachable);
+  EXPECT_LT(result.steps_applied, result.steps_total);
+  EXPECT_FALSE(result.detail.empty());
+  // Rollback: the returned deployment is the old one, bit for bit where it
+  // matters — same overlay and same client placements.
+  EXPECT_EQ(result.deployment.topology.brokers(), old.topology.brokers());
+  ASSERT_EQ(result.deployment.subscribers.size(), old.subscribers.size());
+  for (std::size_t i = 0; i < old.subscribers.size(); ++i) {
+    EXPECT_EQ(result.deployment.subscribers[i].home, old.subscribers[i].home);
+  }
+  ASSERT_EQ(result.deployment.publishers.size(), old.publishers.size());
+  for (std::size_t i = 0; i < old.publishers.size(); ++i) {
+    EXPECT_EQ(result.deployment.publishers[i].home, old.publishers[i].home);
+  }
+}
+
+TEST(TransactionalApply, InvalidPlansAreRejectedBeforeAnyStep) {
+  PlannedScenario ps = planned_scenario();
+  const Deployment& old = ps.sim.deployment();
+
+  ReconfigurationPlan empty;  // no overlay at all
+  const ApplyResult r1 = apply_plan_transactional(old, empty);
+  EXPECT_FALSE(r1.success);
+  EXPECT_EQ(r1.reason, FailureReason::kPlanInvalid);
+  EXPECT_EQ(r1.steps_applied, 0u);
+
+  ReconfigurationPlan bad_root = ps.plan;
+  bad_root.root = BrokerId{424242};  // root outside the overlay
+  const ApplyResult r2 = apply_plan_transactional(old, bad_root);
+  EXPECT_FALSE(r2.success);
+  EXPECT_EQ(r2.reason, FailureReason::kPlanInvalid);
+  EXPECT_EQ(r2.steps_applied, 0u);
+
+  ReconfigurationPlan bad_target = ps.plan;
+  ASSERT_FALSE(old.subscribers.empty());
+  bad_target.subscriber_home[old.subscribers.front().sub] = BrokerId{424242};
+  const ApplyResult r3 = apply_plan_transactional(old, bad_target);
+  EXPECT_FALSE(r3.success);
+  EXPECT_EQ(r3.reason, FailureReason::kPlanInvalid);
+  EXPECT_EQ(r3.steps_applied, 0u);
+  EXPECT_EQ(r3.deployment.topology.brokers(), old.topology.brokers());
+}
+
+// Chain 0 - 1 - 2: publisher at 0, subscriber at 2, broker 1 is a pure
+// forwarder. Crashing it mid-run loses exactly the messages it carried —
+// real losses without retransmit, zero real losses with it.
+struct ChainNet {
+  Deployment dep;
+
+  ChainNet() {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      dep.topology.add_broker(BrokerId{i});
+      if (i > 0) dep.topology.add_link(BrokerId{i - 1}, BrokerId{i});
+      dep.capacities.emplace(BrokerId{i},
+                             BrokerCapacity{1.0e5, MatchingDelayFunction{10e-6, 0.5e-6}});
+    }
+    PublisherSpec p;
+    p.client = ClientId{0};
+    p.adv = AdvId{0};
+    p.symbol = "YHOO";
+    p.rate_msg_s = 50.0;
+    p.home = BrokerId{0};
+    p.adv_filter = parse_filter("[class,=,'STOCK'],[symbol,=,'YHOO']");
+    dep.publishers.push_back(std::move(p));
+    SubscriberSpec s;
+    s.client = ClientId{1};
+    s.sub = SubId{0};
+    s.filter = parse_filter("[symbol,=,'YHOO']");
+    s.home = BrokerId{2};
+    dep.subscribers.push_back(s);
+  }
+
+  Simulation make() {
+    return Simulation(std::move(dep),
+                      StockQuoteGenerator(StockQuoteGenerator::Config{}, Rng(99)));
+  }
+};
+
+LossAudit run_forwarder_outage(bool retransmit) {
+  ChainNet net;
+  Simulation sim = net.make();
+  FaultSchedule schedule;
+  schedule.outage(seconds(2.0), seconds(2.0), BrokerId{1});
+  FaultOptions opts;
+  opts.retransmit_on_reconnect = retransmit;
+  sim.install_faults(std::move(schedule), opts);
+  sim.run(10.0);
+  EXPECT_GT(sim.fault_state().stats().arrivals_dropped +
+                sim.fault_state().stats().retransmits_replayed,
+            0u);
+  return audit_losses(sim, StockQuoteGenerator(StockQuoteGenerator::Config{}, Rng(99)));
+}
+
+TEST(LossOracle, ForwarderCrashWithoutRetransmitLosesMessages) {
+  const LossAudit audit = run_forwarder_outage(/*retransmit=*/false);
+  // Neither endpoint's home broker was down, so nothing excuses the gap
+  // the dead forwarder left: these are real losses and the oracle says so.
+  EXPECT_GT(audit.expected, 0u);
+  EXPECT_FALSE(audit.real_losses.empty());
+  EXPECT_EQ(audit.false_positives, 0u);
+}
+
+TEST(LossOracle, RetransmitOnReconnectEliminatesRealLosses) {
+  const LossAudit audit = run_forwarder_outage(/*retransmit=*/true);
+  EXPECT_GT(audit.expected, 0u);
+  EXPECT_GT(audit.recorded, 0u);
+  EXPECT_TRUE(audit.real_losses.empty()) << audit.real_losses.size() << " real losses";
+  EXPECT_EQ(audit.false_positives, 0u);
+}
+
+// Crash semantics on the chain: queued work dies with the broker, the
+// restart is idempotent, and outage windows are recorded for the oracle.
+TEST(FaultInjection, CrashDropsQueuedWorkAndRecordsOutageWindows) {
+  ChainNet net;
+  Simulation sim = net.make();
+  FaultSchedule schedule;
+  schedule.outage(seconds(2.0), seconds(2.0), BrokerId{1});
+  schedule.crash(seconds(2.5), BrokerId{1});    // double-crash: idempotent
+  schedule.restart(seconds(9.0), BrokerId{1});  // double-restart: idempotent
+  sim.install_faults(std::move(schedule), FaultOptions{});
+  sim.run(10.0);
+
+  const FaultStats& stats = sim.fault_state().stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_GT(stats.arrivals_dropped, 0u);
+  ASSERT_EQ(sim.fault_state().outages().size(), 1u);
+  const OutageWindow& w = sim.fault_state().outages().front();
+  EXPECT_EQ(w.broker, BrokerId{1});
+  EXPECT_EQ(w.begin, seconds(2.0));
+  EXPECT_EQ(w.end, seconds(4.0));
+  EXPECT_TRUE(sim.fault_state().in_outage(BrokerId{1}, seconds(3.0)));
+  EXPECT_FALSE(sim.fault_state().in_outage(BrokerId{1}, seconds(5.0)));
+  EXPECT_TRUE(sim.broker_alive(BrokerId{1}));
+}
+
+}  // namespace
+}  // namespace greenps
