@@ -1,8 +1,20 @@
-// Discrete-event scheduler: a min-heap of (time, insertion sequence,
-// action). Ties break on insertion order so runs are fully deterministic.
+// Discrete-event scheduler: a min-heap of (time, tie-break key, action).
+//
+// Two tie-break disciplines coexist:
+//  - schedule() assigns an insertion-sequence key (the historical behavior:
+//    same-time events fire in the order they were scheduled);
+//  - schedule_keyed() takes a caller-supplied EventKey derived from the
+//    event's *content* (source ordinal + per-source sequence). Content keys
+//    make the execution order a pure function of the simulated system, so a
+//    sharded simulation replays each broker's events in exactly the order a
+//    single queue would — the foundation of the bit-identical contract for
+//    any worker count.
+// Keyed events order before legacy ones at the same timestamp (their class
+// bits are smaller); each discipline is internally deterministic.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -10,6 +22,14 @@
 #include "common/units.hpp"
 
 namespace greenps {
+
+// Content-derived tie-break key: hi = (class << 56) | source ordinal,
+// lo = per-source sequence number. Ties at one timestamp resolve by
+// (hi, lo), so the pair must be unique per queue per timestamp.
+struct EventKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
 
 class EventQueue {
  public:
@@ -21,13 +41,31 @@ class EventQueue {
   static constexpr std::size_t kActionCapacity = 80;
   using Action = SmallFunction<void(), kActionCapacity>;
 
-  void schedule(SimTime time, Action action);
+  // next_time() when the heap is empty.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+  // Class bits assigned to schedule() events; schedule_keyed() callers must
+  // use a smaller class so their ordering is self-contained.
+  static constexpr std::uint64_t kInsertionClass = 3;
 
-  // Execute events in time order until the queue is drained or the next
-  // event is after `end`. Returns the number of events executed.
+  void schedule(SimTime time, Action action);
+  void schedule_keyed(SimTime time, EventKey key, Action action);
+
+  // Execute events in (time, key) order until the queue is drained or the
+  // next event is after `end`; leaves now() == end. Returns the number of
+  // events executed.
   std::size_t run_until(SimTime end);
 
+  // Execute events with time strictly before `horizon`, leaving now() at
+  // the last executed event (events at exactly `horizon` stay queued).
+  // Used by the sharded loop to drain one conservative lookahead window:
+  // cross-shard messages produced inside the window land at or after
+  // `horizon`, so they merge in before the next window opens.
+  std::size_t run_before(SimTime horizon);
+
   [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? kNoEvent : heap_.top().time;
+  }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t executed() const { return executed_; }
 
@@ -36,14 +74,18 @@ class EventQueue {
  private:
   struct Event {
     SimTime time;
-    std::uint64_t seq;
+    EventKey key;
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+      if (a.time != b.time) return a.time > b.time;
+      if (a.key.hi != b.key.hi) return a.key.hi > b.key.hi;
+      return a.key.lo > b.key.lo;
     }
   };
+
+  void pop_and_run();
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   SimTime now_ = 0;

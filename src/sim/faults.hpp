@@ -100,6 +100,9 @@ struct FaultStats {
   std::uint64_t msgs_dropped_random = 0;      // probabilistic link drops
   std::uint64_t retransmits_replayed = 0;     // buffered messages re-injected
   std::uint64_t retransmit_overflow = 0;      // buffer cap hit; message lost
+
+  // Field-wise sum: reduces per-shard counters into one view.
+  void add(const FaultStats& other);
 };
 
 // One broker outage as the loss oracle sees it. end < 0 = still down.
@@ -113,7 +116,12 @@ struct OutageWindow {
 // fire. Lookups are O(1); link keys are order-independent.
 class FaultState {
  public:
-  void apply(const FaultEvent& ev);
+  // Advance the live state. With record = false only the state flips —
+  // no stats counting, no outage-window bookkeeping. The sharded simulator
+  // replicates every fault event to all shards (each needs the link/crash
+  // state for its own brokers' hot paths) but designates exactly one
+  // recording replica, so counters and windows are not multiplied.
+  void apply(const FaultEvent& ev, bool record = true);
 
   [[nodiscard]] bool is_crashed(BrokerId b) const { return crashed_.contains(b); }
   [[nodiscard]] bool link_is_down(BrokerId a, BrokerId b) const {
@@ -154,10 +162,22 @@ class FaultState {
 struct FaultOptions {
   // Buffer messages that arrive at a crashed broker and replay them when it
   // restarts (store-and-forward at the dead broker's neighbors). Without
-  // it, everything a crashed broker would have carried is lost.
+  // it, everything a crashed broker would have carried is lost. Replayed
+  // messages re-enter `reconnect_latency` after the restart.
   bool retransmit_on_reconnect = false;
-  // Replayed messages re-enter `reconnect_latency` after the restart.
-  std::size_t max_retransmit_buffer = 65536;  // per broker; overflow drops
+  // Per-broker cap on buffered messages; overflow drops (counted in
+  // FaultStats::retransmit_overflow and SimSummary::retransmit_overflow).
+  // 0 (the default) derives each broker's cap from its profiled message
+  // rate x the expected outage length x `retransmit_headroom`, clamped to
+  // [1024, 1 << 20]; brokers with no profile data fall back to 65536.
+  // Nonzero = one flat cap for every broker (the historical behavior).
+  std::size_t max_retransmit_buffer = 0;
+  // Outage length the derived caps are sized for. <= 0 = use the longest
+  // crash-to-restart gap in the installed schedule (fallback: 5 s when the
+  // schedule has no closed outage).
+  double expected_outage_s = 0;
+  // Safety factor on derived caps: profiles are averages, outages hit peaks.
+  double retransmit_headroom = 2.0;
 };
 
 }  // namespace greenps

@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace greenps {
 
@@ -10,10 +11,12 @@ void DelayHistogram::record(SimTime delay) {
 }
 
 void MetricsCollector::on_delivery(BrokerId last_broker, int broker_hops, SimTime delay) {
-  traffic_[last_broker].local_deliveries += 1;
+  BrokerTraffic& t = traffic_[last_broker];
+  t.local_deliveries += 1;
+  t.hop_total += static_cast<std::uint64_t>(broker_hops);
+  t.delay_total_s += to_seconds(delay);
   deliveries_ += 1;
   hop_total_ += static_cast<std::uint64_t>(broker_hops);
-  delay_total_s_ += to_seconds(delay);
   delays_.record(delay);
 }
 
@@ -23,7 +26,32 @@ double MetricsCollector::avg_hops() const {
 }
 
 double MetricsCollector::avg_delay_ms() const {
-  return deliveries_ == 0 ? 0.0 : delay_total_s_ * 1000.0 / static_cast<double>(deliveries_);
+  if (deliveries_ == 0) return 0.0;
+  // Reduce per-broker sums in ascending id order: the only deterministic
+  // order for a floating-point total (see BrokerTraffic::delay_total_s).
+  std::vector<const std::pair<const BrokerId, BrokerTraffic>*> entries;
+  entries.reserve(traffic_.size());
+  for (const auto& e : traffic_) entries.push_back(&e);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  double total_s = 0;
+  for (const auto* e : entries) total_s += e->second.delay_total_s;
+  return total_s * 1000.0 / static_cast<double>(deliveries_);
+}
+
+void MetricsCollector::merge_from(const MetricsCollector& other) {
+  for (const auto& [b, t] : other.traffic_) {
+    BrokerTraffic& mine = traffic_[b];
+    mine.msgs_in += t.msgs_in;
+    mine.msgs_out += t.msgs_out;
+    mine.local_deliveries += t.local_deliveries;
+    mine.hop_total += t.hop_total;
+    mine.delay_total_s += t.delay_total_s;
+  }
+  publications_ += other.publications_;
+  deliveries_ += other.deliveries_;
+  hop_total_ += other.hop_total_;
+  delays_.merge(other.delays_);
 }
 
 void MetricsCollector::reset() {
@@ -31,7 +59,6 @@ void MetricsCollector::reset() {
   publications_ = 0;
   deliveries_ = 0;
   hop_total_ = 0;
-  delay_total_s_ = 0;
   delays_.reset();
 }
 

@@ -26,6 +26,9 @@ class DelayHistogram {
     return hist_.samples() == 0 ? 0.0 : hist_.percentile(fraction) / 1000.0;
   }
   [[nodiscard]] std::uint64_t samples() const { return hist_.samples(); }
+  // Add another histogram's samples (integer bucket counts, so merging is
+  // order-free — the sharded simulator reduces per-shard histograms).
+  void merge(const DelayHistogram& other) { hist_.merge(other.hist_); }
   void reset() { hist_.reset(); }
 
  private:
@@ -40,6 +43,13 @@ struct BrokerTraffic {
   std::uint64_t msgs_in = 0;        // publications processed (matched)
   std::uint64_t msgs_out = 0;       // copies sent (to brokers and clients)
   std::uint64_t local_deliveries = 0;
+  std::uint64_t hop_total = 0;      // broker hops summed over local deliveries
+  // Delivery delay summed per broker. Floating-point addition is
+  // order-sensitive, so the global total is always reduced from these
+  // per-broker sums in ascending broker-id order — each broker's delivery
+  // order is shard-invariant, which makes the reduced total bit-identical
+  // for any worker count.
+  double delay_total_s = 0;
 };
 
 // Aggregate summary over one measurement window.
@@ -58,6 +68,7 @@ struct SimSummary {
   double p99_delivery_delay_ms = 0;
   double avg_output_utilization = 0;    // mean busy fraction of output links
   std::size_t pure_forwarding_brokers = 0;
+  std::uint64_t retransmit_overflow = 0;  // retransmit-buffer drops (faulted runs)
 };
 
 class MetricsCollector {
@@ -80,6 +91,12 @@ class MetricsCollector {
   [[nodiscard]] double avg_delay_ms() const;
   [[nodiscard]] const DelayHistogram& delay_histogram() const { return delays_; }
 
+  // Fold another collector in (disjoint broker sets in the sharded
+  // simulator; integer counters and per-broker partial sums, so the merged
+  // collector is independent of merge order up to map iteration order,
+  // which no consumer observes).
+  void merge_from(const MetricsCollector& other);
+
   void reset();
 
  private:
@@ -87,7 +104,6 @@ class MetricsCollector {
   std::uint64_t publications_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t hop_total_ = 0;
-  double delay_total_s_ = 0;
   DelayHistogram delays_;
 };
 

@@ -8,11 +8,15 @@
 // Blocks are returned when the last reference drops, wherever that happens;
 // the shared State keeps the free list alive until the final publication
 // dies, so pooled publications may safely outlive the pool and the
-// simulation that created them.
+// simulation that created them. The free list is mutex-protected: in the
+// sharded simulation a publication's last reference can drop on any worker
+// thread (the receiving shard of a cross-shard forward), not just the one
+// that acquired it.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "language/publication.hpp"
@@ -26,10 +30,14 @@ class PublicationPool {
     return std::allocate_shared<Publication>(Alloc<Publication>{state_});
   }
 
-  [[nodiscard]] std::size_t free_blocks() const { return state_->free.size(); }
+  [[nodiscard]] std::size_t free_blocks() const {
+    const std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->free.size();
+  }
 
  private:
   struct State {
+    std::mutex mu;                // guards free + block_size
     std::vector<void*> free;      // blocks of block_size bytes each
     std::size_t block_size = 0;   // set by the first allocation
     ~State() {
@@ -52,6 +60,7 @@ class PublicationPool {
 
     T* allocate(std::size_t n) {
       if (n == 1) {
+        const std::lock_guard<std::mutex> lk(state->mu);
         if (state->block_size == sizeof(T) && !state->free.empty()) {
           void* p = state->free.back();
           state->free.pop_back();
@@ -63,9 +72,12 @@ class PublicationPool {
     }
 
     void deallocate(T* p, std::size_t n) {
-      if (n == 1 && state->block_size == sizeof(T)) {
-        state->free.push_back(p);
-        return;
+      if (n == 1) {
+        const std::lock_guard<std::mutex> lk(state->mu);
+        if (state->block_size == sizeof(T)) {
+          state->free.push_back(p);
+          return;
+        }
       }
       ::operator delete(p);
     }

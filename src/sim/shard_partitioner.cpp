@@ -1,0 +1,86 @@
+#include "sim/shard_partitioner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace greenps {
+
+ShardPlan partition_brokers(const Topology& topology,
+                            const std::unordered_map<BrokerId, std::size_t>& extra_weight,
+                            std::size_t shard_count) {
+  ShardPlan plan;
+  std::vector<BrokerId> ids = topology.brokers();
+  std::sort(ids.begin(), ids.end());
+  if (ids.empty()) {
+    plan.shards.resize(std::max<std::size_t>(shard_count, 1));
+    return plan;
+  }
+  shard_count = std::clamp<std::size_t>(shard_count, 1, ids.size());
+
+  // Deterministic DFS order over every component: sorted roots, sorted
+  // neighbor visits. On a tree this lists each subtree contiguously.
+  std::vector<BrokerId> order;
+  order.reserve(ids.size());
+  std::unordered_set<BrokerId> seen;
+  seen.reserve(ids.size());
+  std::vector<BrokerId> stack;
+  for (const BrokerId root : ids) {
+    if (seen.contains(root)) continue;
+    stack.push_back(root);
+    seen.insert(root);
+    while (!stack.empty()) {
+      const BrokerId b = stack.back();
+      stack.pop_back();
+      order.push_back(b);
+      std::vector<BrokerId> nbrs = topology.neighbors(b);
+      std::sort(nbrs.begin(), nbrs.end());
+      // Push in reverse so the smallest-id neighbor is visited first.
+      for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+        if (seen.insert(*it).second) stack.push_back(*it);
+      }
+    }
+  }
+
+  const auto weight_of = [&](BrokerId b) -> std::size_t {
+    const auto it = extra_weight.find(b);
+    return 1 + (it != extra_weight.end() ? it->second : 0);
+  };
+  std::size_t remaining_weight = 0;
+  for (const BrokerId b : order) remaining_weight += weight_of(b);
+
+  // Greedy sweep: each shard takes consecutive DFS-order brokers until it
+  // reaches its share of the remaining weight, always leaving at least one
+  // broker per remaining shard.
+  plan.shards.resize(shard_count);
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t shards_left = shard_count - s;
+    const std::size_t target = (remaining_weight + shards_left - 1) / shards_left;
+    std::size_t acc = 0;
+    while (next < order.size()) {
+      const std::size_t must_leave = shard_count - s - 1;
+      if (order.size() - next <= must_leave) break;
+      if (acc >= target && !plan.shards[s].empty()) break;
+      const BrokerId b = order[next++];
+      plan.shards[s].push_back(b);
+      acc += weight_of(b);
+    }
+    remaining_weight -= acc;
+  }
+  // Weight rounding can exhaust targets early; sweep leftovers to the last shard.
+  while (next < order.size()) plan.shards.back().push_back(order[next++]);
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    std::sort(plan.shards[s].begin(), plan.shards[s].end());
+    for (const BrokerId b : plan.shards[s]) plan.owner.emplace(b, s);
+  }
+  for (const BrokerId b : ids) {
+    const std::size_t s = plan.owner.at(b);
+    for (const BrokerId n : topology.neighbors(b)) {
+      if (b.value() < n.value() && plan.owner.at(n) != s) plan.cross_links += 1;
+    }
+  }
+  return plan;
+}
+
+}  // namespace greenps

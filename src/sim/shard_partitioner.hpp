@@ -1,0 +1,43 @@
+// Topology-aware shard partitioner for the sharded simulator.
+//
+// Assigns every broker to one of `shard_count` shards so that (a) shard
+// loads are balanced by a per-broker weight (1 + clients hosted, a proxy
+// for event volume) and (b) few overlay links cross shards. The overlay is
+// a tree in every deployed configuration, so a DFS order visits each
+// subtree contiguously; cutting that order into consecutive weight-balanced
+// blocks keeps most links internal (a path graph cut into k blocks has
+// exactly k-1 cross links, the optimum). The whole procedure is
+// deterministic — sorted roots, sorted neighbor visits — because the shard
+// assignment feeds the deterministic event-key layout.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "overlay/topology.hpp"
+
+namespace greenps {
+
+struct ShardPlan {
+  // shards[s] = brokers owned by shard s, sorted by id. Every shard is
+  // non-empty when shard_count <= broker count.
+  std::vector<std::vector<BrokerId>> shards;
+  // Overlay links whose endpoints land on different shards.
+  std::size_t cross_links = 0;
+
+  // Shard index owning broker `b` (must be in the plan).
+  [[nodiscard]] std::size_t shard_of(BrokerId b) const { return owner.at(b); }
+  std::unordered_map<BrokerId, std::size_t> owner;
+};
+
+// `extra_weight` adds per-broker load on top of the implicit weight of 1
+// (the simulator passes the number of clients homed on each broker).
+// shard_count is clamped to [1, broker_count].
+[[nodiscard]] ShardPlan partition_brokers(
+    const Topology& topology,
+    const std::unordered_map<BrokerId, std::size_t>& extra_weight,
+    std::size_t shard_count);
+
+}  // namespace greenps

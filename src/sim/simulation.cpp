@@ -3,59 +3,163 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "common/logging.hpp"
+#include "matching/matching_engine.hpp"
 #include "matching/relations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard_partitioner.hpp"
 
 namespace greenps {
 
-Simulation::Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net)
-    : quotes_(std::move(quotes)), net_(net) {
+namespace {
+
+// Event-key classes (sim/event_queue.hpp): smaller class fires first at a
+// tied timestamp. Fault events beat sampler ticks beat traffic, and all of
+// them beat legacy insertion-keyed events (kInsertionClass).
+constexpr std::uint64_t kFaultClass = 0;
+constexpr std::uint64_t kSamplerClass = 1;
+constexpr std::uint64_t kSourceClass = 2;
+static_assert(kSourceClass < EventQueue::kInsertionClass);
+
+EventKey make_key(std::uint64_t klass, std::uint64_t ord, std::uint64_t seq) {
+  return EventKey{(klass << 56) | ord, seq};
+}
+
+// Retransmit-cap fallback when a broker has no profile data (also the old
+// flat default, so unprofiled runs keep the historical behavior).
+constexpr std::size_t kDefaultRetransmitCap = 65536;
+constexpr std::size_t kMinRetransmitCap = 1024;
+constexpr std::size_t kMaxRetransmitCap = std::size_t{1} << 20;
+
+// Per-broker drop-RNG seeding: splitmix-style mix of the broker id so
+// adjacent ids get uncorrelated streams.
+std::uint64_t drop_seed(BrokerId b) {
+  std::uint64_t z = (static_cast<std::uint64_t>(b.value()) + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::size_t SimOptions::resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* v = std::getenv("GREENPS_SIM_WORKERS"); v != nullptr && *v != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+Simulation::Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net,
+                       SimOptions opts)
+    : quotes_(std::move(quotes)),
+      net_(net),
+      workers_(SimOptions::resolve_workers(opts.workers)) {
   redeploy(std::move(deployment));
 }
 
 Broker& Simulation::broker(BrokerId id) {
   const auto it = brokers_.find(id);
   assert(it != brokers_.end());
-  return *it->second;
+  return *it->second.broker;
 }
 
 const Broker& Simulation::broker(BrokerId id) const {
   const auto it = brokers_.find(id);
   assert(it != brokers_.end());
-  return *it->second;
+  return *it->second.broker;
+}
+
+std::size_t Simulation::pick_shard_count() const {
+  std::size_t n = std::min(workers_, std::max<std::size_t>(
+                                         deployment_.topology.broker_count(), 1));
+  if (n <= 1) return 1;
+  // Zero link latency leaves no conservative lookahead to window on.
+  if (net_.link_latency <= 0) return 1;
+  // Publishers sharing a symbol (one price walk) or an advertisement (one
+  // sequence counter) would race across shards; such workloads run on one.
+  std::unordered_set<std::string> symbols;
+  std::unordered_set<AdvId> advs;
+  for (const auto& pub : deployment_.publishers) {
+    if (!symbols.insert(pub.symbol).second || !advs.insert(pub.adv).second) return 1;
+  }
+  return n;
 }
 
 void Simulation::redeploy(Deployment deployment) {
+  snapshot_profiled_rates();  // keep the last window's rates across epochs
   deployment_ = std::move(deployment);
   brokers_.clear();
   publishers_.clear();
-  queue_.clear();
+  const std::size_t num_shards = pick_shard_count();
+  loop_.reset(num_shards);
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[s]->index = s;
+  }
   metrics_.reset();
   measured_s_ = 0;
   publishers_scheduled_ = false;
-  sample_baselines_.clear();
   sampler_scheduled_ = false;
   // Fault epoch ends with the deployment: pending fault events died with
   // the queue, active faults and buffers are meaningless for new brokers.
   faults_active_ = false;
   faults_.reset();
-  retransmit_.clear();
+  fault_key_seq_ = 0;
+  retransmit_caps_.clear();
   publish_ledger_.clear();
   ledger_enabled_ = false;
-  for (const BrokerId b : deployment_.topology.brokers()) {
+
+  // Shard assignment: contiguous cuts of the overlay, balanced by hosted
+  // clients (a proxy for per-broker event volume).
+  std::unordered_map<BrokerId, std::size_t> weight;
+  for (const auto& sub : deployment_.subscribers) weight[sub.home] += 1;
+  for (const auto& pub : deployment_.publishers) weight[pub.home] += 1;
+  const ShardPlan plan = partition_brokers(deployment_.topology, weight, num_shards);
+  obs::MetricsRegistry::global().gauge("sim.shards").set(static_cast<double>(num_shards));
+  obs::MetricsRegistry::global()
+      .gauge("sim.cross_shard_links")
+      .set(static_cast<double>(plan.cross_links));
+
+  // Dense ordinals in ascending-id order feed the event keys; the same
+  // deployment gets the same keys no matter how many shards it runs on.
+  std::vector<BrokerId> ids = deployment_.topology.brokers();
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const BrokerId b = ids[i];
     const auto cap_it = deployment_.capacities.find(b);
     const BrokerCapacity cap =
         cap_it != deployment_.capacities.end() ? cap_it->second : BrokerCapacity{};
-    brokers_.emplace(b, std::make_unique<Broker>(b, cap, deployment_.profile_window_bits));
+    BrokerSlot slot;
+    slot.broker = std::make_unique<Broker>(b, cap, deployment_.profile_window_bits);
+    slot.shard = shards_[plan.shard_of(b)].get();
+    slot.ord = i;
+    slot.drop_rng = Rng(drop_seed(b));
+    slot.shard->owned_sorted.push_back(b);  // ids ascend, so this stays sorted
+    brokers_.emplace(b, std::move(slot));
   }
-  for (const auto& spec : deployment_.publishers) {
+  for (std::size_t i = 0; i < deployment_.publishers.size(); ++i) {
+    const PublisherSpec& spec = deployment_.publishers[i];
     PublisherState st;
     st.spec = spec;
-    st.next_seq = seq_.try_emplace(spec.adv, 0).first->second;
+    auto [seq_it, inserted] = seq_.try_emplace(spec.adv, 0);
+    (void)inserted;
+    st.next_seq = seq_it->second;
+    st.seq_slot = &seq_it->second;
+    st.home = &brokers_.at(spec.home);
+    st.shard = st.home->shard;
+    st.ord = ids.size() + i;
     publishers_.push_back(std::move(st));
+    // Pre-create the symbol's walk state: worker threads must never insert
+    // into the generator's map concurrently.
+    quotes_.prewarm(spec.symbol);
   }
   client_hosts_.clear();
   for (const auto& sub : deployment_.subscribers) client_hosts_.insert(sub.home);
@@ -115,234 +219,334 @@ void Simulation::install_routing() {
 void Simulation::schedule_publisher(std::size_t pub_index, SimTime first) {
   PublisherState& st = publishers_[pub_index];
   if (st.spec.rate_msg_s <= 0) return;
-  queue_.schedule(first, [this, pub_index] { publish(pub_index); });
+  loop_.queue(st.shard->index)
+      .schedule_keyed(first, make_key(kSourceClass, st.ord, st.key_seq++),
+                      [this, pub_index] { publish(pub_index); });
 }
 
 void Simulation::publish(std::size_t pub_index) {
   PublisherState& st = publishers_[pub_index];
-  const SimTime now = queue_.now();
+  Shard& sh = *st.shard;
+  EventQueue& q = loop_.queue(sh.index);
+  const SimTime now = q.now();
 
-  std::shared_ptr<Publication> pub = pub_pool_.acquire();
+  std::shared_ptr<Publication> pub = sh.pub_pool.acquire();
   quotes_.next_into(st.spec.symbol, *pub);
   const MessageSeq seq = st.next_seq++;
-  seq_[st.spec.adv] = st.next_seq;
+  *st.seq_slot = st.next_seq;
   pub->set_header(st.spec.adv, seq);
-  metrics_.on_publication();
-  Broker& home = broker(st.spec.home);
+  sh.metrics.on_publication();
+  BrokerSlot& home = *st.home;
   // A crashed home broker rejects the publication at its door. The quote
   // draw and sequence increment above still happened, so the per-symbol
   // price walk and seq<->quote mapping stay aligned with a fault-free run
   // and the loss oracle can regenerate exactly what was lost.
-  const bool home_down = faults_active_ && home.crashed();
-  if (ledger_enabled_) publish_ledger_.push_back({st.spec.adv, seq, now, home_down});
+  const bool home_down = faults_active_ && home.broker->crashed();
+  if (ledger_enabled_) sh.ledger.push_back({st.spec.adv, seq, now, home_down});
   if (home_down) {
-    faults_.stats().pubs_dropped_at_source += 1;
+    sh.faults.stats().pubs_dropped_at_source += 1;
   } else {
-    home.cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
+    home.broker->cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
     const SimTime arrival = now + net_.client_latency;
-    queue_.schedule(arrival, [this, pub = std::move(pub), br = &home, now] {
-      arrive_at_broker(*br, pub, BrokerId{}, /*has_from=*/false, /*broker_hops=*/0, now);
-    });
+    q.schedule_keyed(arrival, make_key(kSourceClass, st.ord, st.key_seq++),
+                     [this, pub = std::move(pub), slot = &home, now] {
+                       arrive_at_broker(*slot, pub, BrokerId{}, /*has_from=*/false,
+                                        /*broker_hops=*/0, now);
+                     });
   }
 
   // Next publication, fixed inter-arrival spacing.
   const auto period = static_cast<SimTime>(
       std::llround(static_cast<double>(kMicrosPerSecond) / st.spec.rate_msg_s));
-  queue_.schedule(now + std::max<SimTime>(period, 1),
-                  [this, pub_index] { publish(pub_index); });
+  q.schedule_keyed(now + std::max<SimTime>(period, 1),
+                   make_key(kSourceClass, st.ord, st.key_seq++),
+                   [this, pub_index] { publish(pub_index); });
 }
 
-void Simulation::arrive_at_broker(Broker& br, std::shared_ptr<const Publication> pub,
+void Simulation::arrive_at_broker(BrokerSlot& slot, std::shared_ptr<const Publication> pub,
                                   BrokerId from, bool has_from, int broker_hops,
                                   SimTime publish_time) {
+  Broker& br = *slot.broker;
+  Shard& sh = *slot.shard;
+  EventQueue& q = loop_.queue(sh.index);
   const BrokerId b = br.id();
   if (faults_active_ && br.crashed()) {
     // Messages aimed at a dead broker never enter its queues. With
     // retransmit-on-reconnect the neighbor holds the message and replays
     // it after the restart (store-and-forward); otherwise it is lost.
-    faults_.stats().arrivals_dropped += 1;
+    sh.faults.stats().arrivals_dropped += 1;
     if (fault_options_.retransmit_on_reconnect) {
       buffer_for_retransmit(
-          b, BufferedArrival{std::move(pub), from, has_from, /*is_delivery=*/false,
-                             SubId{}, broker_hops, publish_time});
+          sh, b, BufferedArrival{std::move(pub), from, has_from, /*is_delivery=*/false,
+                                 SubId{}, broker_hops, publish_time});
     }
     return;
   }
-  BrokerTraffic& traffic = metrics_.traffic_for(b);
+  BrokerTraffic& traffic = sh.metrics.traffic_for(b);
   traffic.msgs_in += 1;
   const int hops_here = broker_hops + 1;
 
   const SimTime service = br.matching_service_time();
   br.cbc().record_matching(br.srt().filter_count(), service);
-  const SimTime matched_at = br.matcher().serve(queue_.now(), service);
+  const SimTime matched_at = br.matcher().serve(q.now(), service);
   const BrokerId* exclude = has_from ? &from : nullptr;
   // Routing decision is computed against current tables; the simulator's
   // tables are static during a run, so evaluating now is equivalent to
   // evaluating at matched_at and avoids copying the tables into the closure.
   // The scratch result is consumed before this function returns (the
   // scheduled closures don't reference it), so reuse across arrivals is safe.
-  br.route_into(*pub, exclude, route_scratch_);
-  const auto& decision = route_scratch_;
+  br.route_into(*pub, exclude, sh.route_scratch);
+  const auto& decision = sh.route_scratch;
 
   const MsgSize size = pub->size_kb();
   for (const BrokerId next : decision.forward_to) {
     if (faults_active_) {
-      if (faults_.link_is_down(b, next)) {
-        faults_.stats().msgs_dropped_link_down += 1;
+      if (sh.faults.link_is_down(b, next)) {
+        sh.faults.stats().msgs_dropped_link_down += 1;
         continue;
       }
-      const double p = faults_.drop_prob(b, next);
-      if (p > 0 && fault_rng_.chance(p)) {
-        faults_.stats().msgs_dropped_random += 1;
+      const double p = sh.faults.drop_prob(b, next);
+      if (p > 0 && slot.drop_rng.chance(p)) {
+        sh.faults.stats().msgs_dropped_random += 1;
         continue;
       }
     }
     const SimTime sent_at = br.out_link().transmit(matched_at, size);
     traffic.msgs_out += 1;
     const SimTime hop_latency =
-        net_.link_latency + (faults_active_ ? faults_.extra_latency() : 0);
-    queue_.schedule(sent_at + hop_latency,
-                    [this, next_br = &broker(next), pub, b, hops_here, publish_time] {
-                      arrive_at_broker(*next_br, pub, b, /*has_from=*/true, hops_here,
-                                       publish_time);
-                    });
+        net_.link_latency + (faults_active_ ? sh.faults.extra_latency() : 0);
+    // Lookahead contract (sim/sharded_engine.hpp): sent_at >= now + the
+    // sender's matching service time and hop_latency >= link latency, so a
+    // cross-shard arrival is always at least shard_lookahead() ahead.
+    BrokerSlot* next_slot = &brokers_.at(next);
+    const SimTime at = sent_at + hop_latency;
+    const EventKey key = make_key(kSourceClass, slot.ord, slot.key_seq++);
+    EventQueue::Action action = [this, next_slot, pub, b, hops_here, publish_time] {
+      arrive_at_broker(*next_slot, pub, b, /*has_from=*/true, hops_here, publish_time);
+    };
+    if (next_slot->shard == &sh) {
+      q.schedule_keyed(at, key, std::move(action));
+    } else {
+      loop_.post(sh.index, next_slot->shard->index, at, key, std::move(action));
+    }
   }
   for (const auto& [sub_id, client] : decision.deliver) {
     const SimTime sent_at = br.out_link().transmit(matched_at, size);
     traffic.msgs_out += 1;
     const SimTime delivered_at = sent_at + net_.client_latency;
-    queue_.schedule(delivered_at, [this, b, here = &br, sub_id = sub_id, pub, hops_here,
-                                   publish_time, delivered_at] {
-      if (faults_active_ && here->crashed()) {
-        // The home broker died while the message was on the client link:
-        // the subscriber is detached, so the delivery never lands. With
-        // retransmit enabled it is re-delivered after the restart.
-        faults_.stats().deliveries_dropped += 1;
-        if (fault_options_.retransmit_on_reconnect) {
-          buffer_for_retransmit(b, BufferedArrival{pub, BrokerId{}, false,
-                                                   /*is_delivery=*/true, sub_id,
-                                                   hops_here, publish_time});
-        }
-        return;
-      }
-      metrics_.on_delivery(b, hops_here, delivered_at - publish_time);
-      here->cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
-    });
+    q.schedule_keyed(delivered_at, make_key(kSourceClass, slot.ord, slot.key_seq++),
+                     [this, sp = &slot, sub_id = sub_id, pub, hops_here, publish_time,
+                      delivered_at] {
+                       Shard& s2 = *sp->shard;
+                       if (faults_active_ && sp->broker->crashed()) {
+                         // The home broker died while the message was on the
+                         // client link: the subscriber is detached, so the
+                         // delivery never lands. With retransmit enabled it is
+                         // re-delivered after the restart.
+                         s2.faults.stats().deliveries_dropped += 1;
+                         if (fault_options_.retransmit_on_reconnect) {
+                           buffer_for_retransmit(
+                               s2, sp->broker->id(),
+                               BufferedArrival{pub, BrokerId{}, false,
+                                               /*is_delivery=*/true, sub_id, hops_here,
+                                               publish_time});
+                         }
+                         return;
+                       }
+                       s2.metrics.on_delivery(sp->broker->id(), hops_here,
+                                              delivered_at - publish_time);
+                       sp->broker->cbc().record_delivery(sub_id, pub->adv_id(), pub->seq());
+                     });
   }
 }
 
 void Simulation::install_faults(FaultSchedule schedule, FaultOptions options) {
   fault_options_ = options;
   ledger_enabled_ = true;  // the loss oracle needs the ledger either way
+  derive_retransmit_caps(schedule);
   if (schedule.empty()) return;
   faults_active_ = true;
+  const SimTime now = loop_.now();
   for (const FaultEvent& ev : schedule.events()) {
-    queue_.schedule(std::max(ev.at, queue_.now()), [this, ev] { apply_fault(ev); });
+    // Replicate onto every shard under one shared key: each replica flips
+    // its shard's FaultState at the same point in the event order. Replicas
+    // beyond shard 0 are bookkeeping, excluded from events_executed().
+    const EventKey key = make_key(kFaultClass, 0, fault_key_seq_++);
+    const SimTime at = std::max(ev.at, now);
+    for (auto& shp : shards_) {
+      Shard* sh = shp.get();
+      loop_.queue(sh->index).schedule_keyed(at, key, [this, ev, sh] {
+        if (sh->index != 0) sh->aux_events += 1;
+        apply_fault(ev, *sh);
+      });
+    }
   }
 }
 
 void Simulation::inject_fault(FaultEvent ev) {
-  ev.at = queue_.now();
   faults_active_ = true;
   ledger_enabled_ = true;
-  apply_fault(ev);
+  for (auto& sh : shards_) apply_fault(ev, *sh);
+  rebuild_fault_view();
 }
 
-void Simulation::apply_fault(const FaultEvent& scheduled) {
+void Simulation::apply_fault(const FaultEvent& scheduled, Shard& sh) {
   // Stamp with the actual fire time: events armed in the past were clamped
   // to "now", and outage windows must reflect when the broker really died.
   FaultEvent ev = scheduled;
-  ev.at = queue_.now();
+  ev.at = loop_.queue(sh.index).now();
+  const bool record = sh.index == 0;
   auto& reg = obs::MetricsRegistry::global();
   switch (ev.kind) {
     case FaultKind::kBrokerCrash: {
       const auto it = brokers_.find(ev.broker);
-      if (it == brokers_.end() || it->second->crashed()) return;
-      it->second->on_crash();
-      faults_.apply(ev);
-      obs::trace_instant("fault.broker_crash", static_cast<std::uint64_t>(ev.broker.value()));
-      reg.counter("fault.broker_crashes").add(1);
+      // Dedup against this replica's own state: every replica sees the same
+      // fault sequence, so all of them agree (the Broker object belongs to
+      // one shard and cannot be consulted from the others).
+      if (it == brokers_.end() || sh.faults.is_crashed(ev.broker)) return;
+      sh.faults.apply(ev, record);
+      if (it->second.shard == &sh) it->second.broker->on_crash();
+      if (record) {
+        obs::trace_instant("fault.broker_crash",
+                           static_cast<std::uint64_t>(ev.broker.value()));
+        reg.counter("fault.broker_crashes").add(1);
+      }
       break;
     }
     case FaultKind::kBrokerRestart: {
       const auto it = brokers_.find(ev.broker);
-      if (it == brokers_.end() || !it->second->crashed()) return;
-      it->second->on_restart();
-      faults_.apply(ev);
-      obs::trace_instant("fault.broker_restart", static_cast<std::uint64_t>(ev.broker.value()));
-      reg.counter("fault.broker_restarts").add(1);
-      if (fault_options_.retransmit_on_reconnect) replay_retransmits(ev.broker);
+      if (it == brokers_.end() || !sh.faults.is_crashed(ev.broker)) return;
+      sh.faults.apply(ev, record);
+      if (it->second.shard == &sh) {
+        it->second.broker->on_restart();
+        if (fault_options_.retransmit_on_reconnect) replay_retransmits(it->second);
+      }
+      if (record) {
+        obs::trace_instant("fault.broker_restart",
+                           static_cast<std::uint64_t>(ev.broker.value()));
+        reg.counter("fault.broker_restarts").add(1);
+      }
       break;
     }
     case FaultKind::kLinkDown:
-      faults_.apply(ev);
-      obs::trace_instant("fault.link_down", static_cast<std::uint64_t>(ev.broker.value()));
-      reg.counter("fault.link_downs").add(1);
+      sh.faults.apply(ev, record);
+      if (record) {
+        obs::trace_instant("fault.link_down", static_cast<std::uint64_t>(ev.broker.value()));
+        reg.counter("fault.link_downs").add(1);
+      }
       break;
     case FaultKind::kLinkUp:
-      faults_.apply(ev);
-      obs::trace_instant("fault.link_up", static_cast<std::uint64_t>(ev.broker.value()));
-      reg.counter("fault.link_ups").add(1);
+      sh.faults.apply(ev, record);
+      if (record) {
+        obs::trace_instant("fault.link_up", static_cast<std::uint64_t>(ev.broker.value()));
+        reg.counter("fault.link_ups").add(1);
+      }
       break;
     case FaultKind::kLinkDrop:
-      faults_.apply(ev);
-      obs::trace_instant("fault.link_drop");
-      reg.counter("fault.link_drop_windows").add(1);
+      sh.faults.apply(ev, record);
+      if (record) {
+        obs::trace_instant("fault.link_drop");
+        reg.counter("fault.link_drop_windows").add(1);
+      }
       break;
     case FaultKind::kLatencySpike:
-      faults_.apply(ev);
-      obs::trace_instant("fault.latency_spike");
-      reg.counter("fault.latency_spikes").add(1);
+      sh.faults.apply(ev, record);
+      if (record) {
+        obs::trace_instant("fault.latency_spike");
+        reg.counter("fault.latency_spikes").add(1);
+      }
       break;
   }
-  GREENPS_COUNTER("fault.crashed_brokers", faults_.crashed_count());
+  if (record) {
+    GREENPS_COUNTER("fault.crashed_brokers", sh.faults.crashed_count());
+  }
 }
 
-void Simulation::buffer_for_retransmit(BrokerId at, BufferedArrival&& entry) {
-  auto& buf = retransmit_[at];
-  if (buf.size() >= fault_options_.max_retransmit_buffer) {
-    faults_.stats().retransmit_overflow += 1;
+std::size_t Simulation::retransmit_cap(BrokerId b) const {
+  if (fault_options_.max_retransmit_buffer != 0) return fault_options_.max_retransmit_buffer;
+  const auto it = retransmit_caps_.find(b);
+  return it != retransmit_caps_.end() ? it->second : kDefaultRetransmitCap;
+}
+
+void Simulation::derive_retransmit_caps(const FaultSchedule& schedule) {
+  retransmit_caps_.clear();
+  if (fault_options_.max_retransmit_buffer != 0) return;  // explicit flat cap
+  double outage_s = fault_options_.expected_outage_s;
+  if (outage_s <= 0) {
+    // Size for the longest crash-to-restart gap the schedule will inflict.
+    std::unordered_map<BrokerId, SimTime> crash_at;
+    SimTime longest = 0;
+    for (const FaultEvent& ev : schedule.events()) {
+      if (ev.kind == FaultKind::kBrokerCrash) {
+        crash_at[ev.broker] = ev.at;
+      } else if (ev.kind == FaultKind::kBrokerRestart) {
+        if (const auto it = crash_at.find(ev.broker); it != crash_at.end()) {
+          longest = std::max(longest, ev.at - it->second);
+          crash_at.erase(it);
+        }
+      }
+    }
+    outage_s = longest > 0 ? to_seconds(longest) : 5.0;
+  }
+  for (const auto& [b, rate] : profiled_rate_) {
+    const double raw = rate * outage_s * fault_options_.retransmit_headroom;
+    const auto cap = static_cast<std::size_t>(std::ceil(std::max(raw, 0.0)));
+    retransmit_caps_[b] = std::clamp(cap, kMinRetransmitCap, kMaxRetransmitCap);
+  }
+}
+
+void Simulation::buffer_for_retransmit(Shard& sh, BrokerId at, BufferedArrival&& entry) {
+  auto& buf = sh.retransmit[at];
+  if (buf.size() >= retransmit_cap(at)) {
+    sh.faults.stats().retransmit_overflow += 1;
     return;
   }
   buf.push_back(std::move(entry));
 }
 
-void Simulation::replay_retransmits(BrokerId restarted) {
-  const auto it = retransmit_.find(restarted);
-  if (it == retransmit_.end() || it->second.empty()) return;
+void Simulation::replay_retransmits(BrokerSlot& slot) {
+  Shard& sh = *slot.shard;
+  const auto it = sh.retransmit.find(slot.broker->id());
+  if (it == sh.retransmit.end() || it->second.empty()) return;
   std::vector<BufferedArrival> entries = std::move(it->second);
-  retransmit_.erase(it);
-  const SimTime at = queue_.now() + net_.reconnect_latency;
-  Broker* br = &broker(restarted);
+  sh.retransmit.erase(it);
+  EventQueue& q = loop_.queue(sh.index);
+  const SimTime at = q.now() + net_.reconnect_latency;
   obs::trace_instant("fault.retransmit_replay", entries.size());
   for (BufferedArrival& e : entries) {
-    faults_.stats().retransmits_replayed += 1;
+    sh.faults.stats().retransmits_replayed += 1;
     if (e.is_delivery) {
       // Final hop was lost: re-deliver straight to the local subscriber.
-      queue_.schedule(at, [this, br, e = std::move(e)] {
-        if (br->crashed()) {  // crashed again before the replay fired
-          faults_.stats().deliveries_dropped += 1;
-          if (fault_options_.retransmit_on_reconnect) {
-            buffer_for_retransmit(br->id(), BufferedArrival{e});
-          }
-          return;
-        }
-        metrics_.traffic_for(br->id()).msgs_out += 1;
-        metrics_.on_delivery(br->id(), e.broker_hops, queue_.now() - e.publish_time);
-        br->cbc().record_delivery(e.sub, e.pub->adv_id(), e.pub->seq());
-      });
+      q.schedule_keyed(at, make_key(kSourceClass, slot.ord, slot.key_seq++),
+                       [this, sp = &slot, e = std::move(e)] {
+                         Shard& s2 = *sp->shard;
+                         if (sp->broker->crashed()) {  // crashed again before the replay
+                           s2.faults.stats().deliveries_dropped += 1;
+                           if (fault_options_.retransmit_on_reconnect) {
+                             buffer_for_retransmit(s2, sp->broker->id(), BufferedArrival{e});
+                           }
+                           return;
+                         }
+                         s2.metrics.traffic_for(sp->broker->id()).msgs_out += 1;
+                         s2.metrics.on_delivery(sp->broker->id(), e.broker_hops,
+                                                loop_.queue(s2.index).now() - e.publish_time);
+                         sp->broker->cbc().record_delivery(e.sub, e.pub->adv_id(),
+                                                           e.pub->seq());
+                       });
     } else {
-      // Re-run the arrival; arrive_at_broker re-buffers if `br` is down again.
-      queue_.schedule(at, [this, br, e = std::move(e)] {
-        arrive_at_broker(*br, e.pub, e.from, e.has_from, e.broker_hops, e.publish_time);
-      });
+      // Re-run the arrival; arrive_at_broker re-buffers if down again.
+      q.schedule_keyed(at, make_key(kSourceClass, slot.ord, slot.key_seq++),
+                       [this, sp = &slot, e = std::move(e)] {
+                         arrive_at_broker(*sp, e.pub, e.from, e.has_from, e.broker_hops,
+                                          e.publish_time);
+                       });
     }
   }
 }
 
 bool Simulation::broker_alive(BrokerId id) const {
   const auto it = brokers_.find(id);
-  return it != brokers_.end() && !it->second->crashed();
+  return it != brokers_.end() && !it->second.broker->crashed();
 }
 
 std::optional<BrokerInfo> Simulation::broker_info_if_reachable(BrokerId id) const {
@@ -352,15 +556,32 @@ std::optional<BrokerInfo> Simulation::broker_info_if_reachable(BrokerId id) cons
 
 std::set<std::pair<AdvId, MessageSeq>> Simulation::pending_retransmits() const {
   std::set<std::pair<AdvId, MessageSeq>> out;
-  for (const auto& [b, buf] : retransmit_) {
-    (void)b;
-    for (const BufferedArrival& e : buf) out.emplace(e.pub->adv_id(), e.pub->seq());
+  for (const auto& sh : shards_) {
+    for (const auto& [b, buf] : sh->retransmit) {
+      (void)b;
+      for (const BufferedArrival& e : buf) out.emplace(e.pub->adv_id(), e.pub->seq());
+    }
   }
   return out;
 }
 
+void Simulation::ensure_pool() {
+  const std::size_t n = loop_.shard_count();
+  if (pool_ == nullptr || pool_->size() < n) pool_ = std::make_unique<ThreadPool>(n);
+}
+
+SimTime Simulation::shard_lookahead() const {
+  SimTime min_service = std::numeric_limits<SimTime>::max();
+  for (const auto& [id, slot] : brokers_) {
+    (void)id;
+    min_service = std::min(min_service, slot.broker->matching_service_time());
+  }
+  if (min_service == std::numeric_limits<SimTime>::max()) min_service = 0;
+  return net_.link_latency + min_service;
+}
+
 void Simulation::run(double duration_s) {
-  const SimTime start = queue_.now();
+  const SimTime start = loop_.now();
   const SimTime end = start + seconds(duration_s);
   if (!publishers_scheduled_) {
     // Start publishers, staggering initial publications across one period
@@ -377,44 +598,94 @@ void Simulation::run(double duration_s) {
     publishers_scheduled_ = true;
   }
   if (sample_interval_us_ > 0 && !sampler_scheduled_) {
-    schedule_sample(start + sample_interval_us_);
+    for (auto& sh : shards_) schedule_sample(*sh, start + sample_interval_us_);
     sampler_scheduled_ = true;
   }
   {
     GREENPS_SPAN("sim.run");
-    queue_.run_until(end);
+    if (loop_.shard_count() <= 1) {
+      loop_.run(end, 0, nullptr);
+    } else {
+      ensure_pool();
+      // Match-walk counters are thread_local; harvest each worker slot's
+      // delta and fold it into the caller's counter after the join.
+      loop_.run(
+          end, shard_lookahead(), pool_.get(),
+          [this](std::size_t s) { shards_[s]->walk_base = MatchingEngine::match_walks(); },
+          [this](std::size_t s) {
+            shards_[s]->walk_delta = MatchingEngine::match_walks() - shards_[s]->walk_base;
+          });
+      for (std::size_t s = 1; s < shards_.size(); ++s) {
+        MatchingEngine::add_match_walks(shards_[s]->walk_delta);
+      }
+    }
   }
   // Events past `end` (in-flight deliveries, future publications) stay
   // queued; a subsequent run() continues seamlessly.
   measured_s_ += duration_s;
+  rebuild_master_state();
   if (sample_interval_us_ > 0 && sampler_.row_count() > 0) {
     sampler_.write_csv(obs::TimeSeriesSampler::path_from_env());
   }
 }
 
-void Simulation::schedule_sample(SimTime at) {
-  queue_.schedule(at, [this] {
-    take_sample();
-    schedule_sample(queue_.now() + sample_interval_us_);
-  });
+void Simulation::rebuild_master_state() {
+  metrics_.reset();
+  for (const auto& sh : shards_) metrics_.merge_from(sh->metrics);
+  rebuild_fault_view();
+  publish_ledger_.clear();
+  for (const auto& sh : shards_) {
+    publish_ledger_.insert(publish_ledger_.end(), sh->ledger.begin(), sh->ledger.end());
+  }
+  // Canonical order regardless of shard layout (advs are unique per
+  // publisher whenever more than one shard is in play).
+  std::stable_sort(publish_ledger_.begin(), publish_ledger_.end(),
+                   [](const PublishRecord& a, const PublishRecord& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.adv != b.adv) return a.adv < b.adv;
+                     return a.seq < b.seq;
+                   });
+  for (const auto& sh : shards_) sampler_.absorb(sh->sampler);
+  sampler_.sort_rows();
 }
 
-void Simulation::take_sample() {
-  const SimTime now = queue_.now();
-  const double interval_s = to_seconds(sample_interval_us_);
-  // Sorted broker order keeps the CSV stable across runs.
-  std::vector<BrokerId> ids;
-  ids.reserve(brokers_.size());
-  for (const auto& [id, br] : brokers_) {
-    (void)br;
-    ids.push_back(id);
+void Simulation::rebuild_fault_view() {
+  // Shard 0 is the recording replica: full state plus schedule-driven
+  // stats and outage windows. The other shards contribute only their
+  // hot-path drop/replay counters.
+  faults_ = shards_[0]->faults;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    faults_.stats().add(shards_[s]->faults.stats());
   }
-  std::sort(ids.begin(), ids.end());
-  for (const BrokerId id : ids) {
-    const Broker& br = *brokers_.at(id);
-    SampleBaseline& base = sample_baselines_[id];
-    std::uint64_t in_now = 0, out_now = 0;
-    if (const auto it = metrics_.traffic().find(id); it != metrics_.traffic().end()) {
+}
+
+void Simulation::snapshot_profiled_rates() {
+  if (measured_s_ <= 0) return;
+  profiled_rate_.clear();
+  for (const auto& [b, t] : metrics_.traffic()) {
+    profiled_rate_[b] =
+        static_cast<double>(t.msgs_in + t.local_deliveries) / measured_s_;
+  }
+}
+
+void Simulation::schedule_sample(Shard& sh, SimTime at) {
+  loop_.queue(sh.index).schedule_keyed(
+      at, make_key(kSamplerClass, sh.index, sh.sampler_key_seq++), [this, sp = &sh] {
+        if (sp->index != 0) sp->aux_events += 1;
+        take_sample(*sp);
+        schedule_sample(*sp, loop_.queue(sp->index).now() + sample_interval_us_);
+      });
+}
+
+void Simulation::take_sample(Shard& sh) {
+  const SimTime now = loop_.queue(sh.index).now();
+  const double interval_s = to_seconds(sample_interval_us_);
+  for (const BrokerId id : sh.owned_sorted) {
+    const Broker& br = *brokers_.at(id).broker;
+    SampleBaseline& base = sh.sample_baselines[id];
+    std::uint64_t in_now = 0;
+    std::uint64_t out_now = 0;
+    if (const auto it = sh.metrics.traffic().find(id); it != sh.metrics.traffic().end()) {
       in_now = it->second.msgs_in;
       out_now = it->second.msgs_out;
     }
@@ -428,21 +699,31 @@ void Simulation::take_sample() {
     const double util = std::max(
         0.0,
         static_cast<double>(busy_now - base.busy_us) / static_cast<double>(sample_interval_us_));
-    sampler_.append(to_seconds(now), id.value(), {in_rate, out_rate, backlog_s, util});
+    sh.sampler.append(to_seconds(now), id.value(), {in_rate, out_rate, backlog_s, util});
     base = {in_now, out_now, busy_now};
   }
 }
 
 void Simulation::reset_metrics() {
+  snapshot_profiled_rates();
   metrics_.reset();
   measured_s_ = 0;
-  // Traffic counters restart at zero; link busy time does not, so only the
-  // message baselines reset.
-  for (auto& [id, base] : sample_baselines_) {
-    (void)id;
-    base.msgs_in = 0;
-    base.msgs_out = 0;
+  for (const auto& sh : shards_) {
+    sh->metrics.reset();
+    // Traffic counters restart at zero; link busy time does not, so only
+    // the message baselines reset.
+    for (auto& [id, base] : sh->sample_baselines) {
+      (void)id;
+      base.msgs_in = 0;
+      base.msgs_out = 0;
+    }
   }
+}
+
+std::size_t Simulation::events_executed() const {
+  std::size_t aux = 0;
+  for (const auto& sh : shards_) aux += sh->aux_events;
+  return loop_.executed() - aux;
 }
 
 BrokerInfo Simulation::broker_info(BrokerId id) const {
@@ -460,6 +741,7 @@ SimSummary Simulation::summarize() const {
   s.avg_delivery_delay_ms = metrics_.avg_delay_ms();
   s.p50_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.50);
   s.p99_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.99);
+  s.retransmit_overflow = faults_.stats().retransmit_overflow;
 
   double util_total = 0;
   for (const auto& [b, traffic] : metrics_.traffic()) {
@@ -468,12 +750,14 @@ SimSummary Simulation::summarize() const {
     s.broker_msgs_total += traffic.msgs_in + traffic.msgs_out;
   }
   std::size_t with_subs_or_traffic = 0;
-  for (const auto& [id, br] : brokers_) {
+  for (const auto& [id, slot] : brokers_) {
     const auto it = metrics_.traffic().find(id);
     const bool processed = it != metrics_.traffic().end() && it->second.msgs_in > 0;
     if (processed) {
       with_subs_or_traffic += 1;
-      util_total += static_cast<double>(br->out_link().busy_time());
+      // busy_time is an integer microsecond count far below 2^53, so this
+      // sum is exact and iteration order cannot perturb it.
+      util_total += static_cast<double>(slot.broker->out_link().busy_time());
       const bool no_local = it->second.local_deliveries == 0;
       // A pure forwarder processes traffic but hosts no clients and fans
       // out to at most one direction (Section V-A, Figure 4a).

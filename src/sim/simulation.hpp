@@ -6,6 +6,12 @@
 // routing is installed exactly as PADRES would (advertisement flooding,
 // subscriptions propagated toward intersecting advertisements). CBCs profile
 // deliveries, so after a measurement run CROC can gather real BrokerInfo.
+//
+// The event loop shards across worker threads (SimOptions::workers /
+// GREENPS_SIM_WORKERS): brokers are partitioned onto per-worker event queues
+// advanced in conservative lookahead windows (sim/sharded_engine.hpp), with
+// content-derived event keys making every result bit-identical to the
+// single-threaded run for any worker count.
 #pragma once
 
 #include <memory>
@@ -19,6 +25,7 @@
 
 #include "broker/broker.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/sampler.hpp"
 #include "overlay/topology.hpp"
 #include "sim/event_queue.hpp"
@@ -26,6 +33,7 @@
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/publication_pool.hpp"
+#include "sim/sharded_engine.hpp"
 #include "workload/stock_quote.hpp"
 
 namespace greenps {
@@ -55,9 +63,22 @@ struct Deployment {
   std::size_t profile_window_bits = WindowedBitVector::kDefaultCapacity;
 };
 
+// How the simulator parallelizes its event loop.
+struct SimOptions {
+  // Worker threads (= event-queue shards). 0 resolves GREENPS_SIM_WORKERS
+  // from the environment, defaulting to 1 (single-threaded). The effective
+  // count is clamped to the broker count and forced to 1 when the workload
+  // cannot be sharded safely (zero link latency, or publishers sharing a
+  // symbol or advertisement stream); results are identical either way.
+  std::size_t workers = 0;
+
+  [[nodiscard]] static std::size_t resolve_workers(std::size_t requested);
+};
+
 class Simulation {
  public:
-  Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net = {});
+  Simulation(Deployment deployment, StockQuoteGenerator quotes, NetworkConfig net = {},
+             SimOptions opts = {});
 
   // Advance simulated time by `duration_s`, generating and routing
   // publications. May be called repeatedly; metrics accumulate until
@@ -74,6 +95,9 @@ class Simulation {
   [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
   [[nodiscard]] Broker& broker(BrokerId id);
   [[nodiscard]] const Broker& broker(BrokerId id) const;
+
+  // Event-queue shards actually in use this epoch (1 = single-threaded).
+  [[nodiscard]] std::size_t shard_count() const { return loop_.shard_count(); }
 
   // BIA payload for one broker (what its CBC currently knows).
   [[nodiscard]] BrokerInfo broker_info(BrokerId id) const;
@@ -95,10 +119,15 @@ class Simulation {
   // per-broker timeout expires against a dead CBC).
   [[nodiscard]] std::optional<BrokerInfo> broker_info_if_reachable(BrokerId id) const;
 
+  // Retransmit-buffer cap in force for one broker: the explicit
+  // FaultOptions cap when nonzero, else the profile-derived cap (see
+  // FaultOptions::max_retransmit_buffer).
+  [[nodiscard]] std::size_t retransmit_cap(BrokerId b) const;
+
   // --- publication ledger (delivery-loss oracle) ---
   // One row per publication emitted this epoch; enabled by install_faults()
   // or explicitly. Recording is observation-only: the event stream is
-  // untouched.
+  // untouched. Rows are kept in canonical (at, adv, seq) order.
   struct PublishRecord {
     AdvId adv;
     MessageSeq seq = 0;
@@ -112,7 +141,7 @@ class Simulation {
   // (adv, seq) pairs sitting in retransmit buffers, awaiting a restart.
   [[nodiscard]] std::set<std::pair<AdvId, MessageSeq>> pending_retransmits() const;
   // Current position of the sim clock (end of the last run horizon).
-  [[nodiscard]] SimTime now_us() const { return queue_.now(); }
+  [[nodiscard]] SimTime now_us() const { return loop_.now(); }
 
   [[nodiscard]] SimSummary summarize() const;
   void reset_metrics();
@@ -121,49 +150,137 @@ class Simulation {
   [[nodiscard]] double measured_seconds() const { return measured_s_; }
 
   // Discrete events executed since construction (bench instrumentation).
-  [[nodiscard]] std::size_t events_executed() const { return queue_.executed(); }
+  // Shard-replicated bookkeeping events (fault replicas, per-shard sampler
+  // ticks beyond shard 0) are excluded, so the count is identical for any
+  // worker count.
+  [[nodiscard]] std::size_t events_executed() const;
 
  private:
+  struct Shard;
+
+  // One deployed broker plus everything the sharded loop needs to schedule
+  // and execute its events deterministically: the owning shard, a dense
+  // ordinal feeding event keys, the per-source key sequence, and a private
+  // RNG stream for probabilistic link drops (a shared stream's draw order
+  // would depend on the shard interleaving).
+  struct BrokerSlot {
+    std::unique_ptr<Broker> broker;
+    Shard* shard = nullptr;
+    std::uint64_t ord = 0;
+    std::uint64_t key_seq = 0;
+    Rng drop_rng{0};
+  };
+
   struct PublisherState {
     PublisherSpec spec;
     MessageSeq next_seq = 0;
+    // Node in seq_ pre-inserted at redeploy (stable address), so publishing
+    // never touches the map structure from a worker thread.
+    MessageSeq* seq_slot = nullptr;
+    BrokerSlot* home = nullptr;  // publisher events run on the home's shard
+    Shard* shard = nullptr;
+    std::uint64_t ord = 0;
+    std::uint64_t key_seq = 0;
+  };
+
+  // A message held at a crashed broker, awaiting restart (retransmit).
+  struct BufferedArrival {
+    std::shared_ptr<const Publication> pub;
+    BrokerId from{};
+    bool has_from = false;
+    bool is_delivery = false;  // final hop: deliver to `sub` on replay
+    SubId sub{};
+    int broker_hops = 0;
+    SimTime publish_time = 0;
+  };
+
+  // Previous-sample counters so each sample reports per-interval deltas.
+  struct SampleBaseline {
+    std::uint64_t msgs_in = 0;
+    std::uint64_t msgs_out = 0;
+    SimTime busy_us = 0;
+  };
+
+  // Everything one worker owns. All hot-path state a broker's events touch
+  // lives on its owning shard, so the only cross-thread traffic during a
+  // run is the engine's outbox exchange (plus publication-pool frees).
+  // Master views (metrics_, faults_, publish_ledger_, sampler_) are rebuilt
+  // from the shards after every run().
+  struct Shard {
+    std::size_t index = 0;
+    MetricsCollector metrics;
+    // Fault-state replica: every shard applies every fault event (its own
+    // brokers' hot paths need the crash/link state), but only shard 0
+    // records stats and outage windows.
+    FaultState faults;
+    SubscriptionRoutingTable::MatchResult route_scratch;
+    PublicationPool pub_pool;
+    std::vector<PublishRecord> ledger;
+    std::unordered_map<BrokerId, std::vector<BufferedArrival>> retransmit;
+    std::unordered_map<BrokerId, SampleBaseline> sample_baselines;
+    std::vector<BrokerId> owned_sorted;  // brokers owned, ascending id
+    obs::TimeSeriesSampler sampler{
+        "broker", {"in_rate_msg_s", "out_rate_msg_s", "queue_backlog_s", "bw_utilization"}};
+    std::uint64_t sampler_key_seq = 0;
+    // Replicated bookkeeping events executed here (excluded from
+    // events_executed()), and per-run match-walk harvest scratch.
+    std::size_t aux_events = 0;
+    std::size_t walk_base = 0;
+    std::size_t walk_delta = 0;
   };
 
   void install_routing();
+  // Shard count for the current deployment: the resolved worker request,
+  // clamped and guarded (see SimOptions::workers).
+  [[nodiscard]] std::size_t pick_shard_count() const;
+  // Minimum cross-shard event distance: one link latency plus the smallest
+  // matching service time (any broker-to-broker forward pays both).
+  [[nodiscard]] SimTime shard_lookahead() const;
+  void ensure_pool();
+  // Fold per-shard metrics/faults/ledger/sampler rows into the master
+  // views, in canonical order (called after every run()).
+  void rebuild_master_state();
+  void rebuild_fault_view();
+  // Capture per-broker message rates from the current metrics window
+  // (feeds derived retransmit caps in the next epoch).
+  void snapshot_profiled_rates();
+  void derive_retransmit_caps(const FaultSchedule& schedule);
   // Periodic per-broker time-series sampling (GREENPS_OBS_SAMPLE_MS): one
-  // self-rescheduling event snapshots message rates, output-queue backlog
-  // and bandwidth utilization. Inert (no events scheduled) when disabled,
-  // so the event stream — and thus every allocation decision — is
-  // unchanged by default.
-  void schedule_sample(SimTime at);
-  void take_sample();
+  // self-rescheduling event per shard snapshots message rates, output-queue
+  // backlog and bandwidth utilization. Inert (no events scheduled) when
+  // disabled, so the event stream — and thus every allocation decision —
+  // is unchanged by default.
+  void schedule_sample(Shard& sh, SimTime at);
+  void take_sample(Shard& sh);
   void schedule_publisher(std::size_t pub_index, SimTime first);
   void publish(std::size_t pub_index);
-  // Fire one fault: flip FaultState, sync the Broker object, emit obs
-  // trace/metrics, and on restart replay any buffered messages.
-  struct BufferedArrival;
-  void apply_fault(const FaultEvent& ev);
-  void buffer_for_retransmit(BrokerId at, BufferedArrival&& entry);
-  void replay_retransmits(BrokerId restarted);
-  // `br` is resolved at schedule time (broker storage is stable between
-  // redeploys and the queue is cleared on redeploy), saving an id lookup
+  // Fire one fault on one shard's replica: flip its FaultState, sync the
+  // Broker object if this shard owns it, and (shard 0 only) emit obs
+  // trace/metrics. On restart the owner shard replays buffered messages.
+  void apply_fault(const FaultEvent& ev, Shard& sh);
+  void buffer_for_retransmit(Shard& sh, BrokerId at, BufferedArrival&& entry);
+  void replay_retransmits(BrokerSlot& slot);
+  // `slot` is resolved at schedule time (broker storage is stable between
+  // redeploys and the queues are cleared on redeploy), saving an id lookup
   // per hop and per delivery on the hot path.
-  void arrive_at_broker(Broker& br, std::shared_ptr<const Publication> pub,
+  void arrive_at_broker(BrokerSlot& slot, std::shared_ptr<const Publication> pub,
                         BrokerId from, bool has_from, int broker_hops,
                         SimTime publish_time);
 
   Deployment deployment_;
   StockQuoteGenerator quotes_;
   NetworkConfig net_;
-  EventQueue queue_;
-  MetricsCollector metrics_;
-  std::unordered_map<BrokerId, std::unique_ptr<Broker>> brokers_;
+  std::size_t workers_ = 1;  // resolved request; per-epoch count may be lower
+  ShardedEventLoop loop_;
+  // unique_ptr keeps Shard addresses stable across vector moves — scheduled
+  // closures and BrokerSlots hold raw Shard pointers.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on the first sharded run
+  MetricsCollector metrics_;  // master view (see rebuild_master_state)
+  std::unordered_map<BrokerId, BrokerSlot> brokers_;
   std::vector<PublisherState> publishers_;
   // Sequence numbers survive redeploys (bit vector counters stay in sync).
   std::unordered_map<AdvId, MessageSeq> seq_;
-  PublicationPool pub_pool_;
-  // Scratch routing decision reused across arrivals (single-threaded loop).
-  SubscriptionRoutingTable::MatchResult route_scratch_;
   // Brokers hosting at least one client, precomputed at redeploy() so the
   // pure-forwarder check in summarize() is O(1) per broker instead of
   // rescanning every publisher/subscriber spec.
@@ -178,33 +295,18 @@ class Simulation {
   // fault support, keeping fault-free runs bit-identical.
   bool faults_active_ = false;
   FaultOptions fault_options_;
-  FaultState faults_;
-  // Dedicated stream so fault-related draws never perturb workload RNG.
-  Rng fault_rng_{0x9e3779b97f4a7c15ull};
+  FaultState faults_;  // master view
+  std::uint64_t fault_key_seq_ = 0;  // shared event key per replicated fault
   bool ledger_enabled_ = false;
-  std::vector<PublishRecord> publish_ledger_;
-  // A message held at a crashed broker, awaiting restart (retransmit).
-  struct BufferedArrival {
-    std::shared_ptr<const Publication> pub;
-    BrokerId from{};
-    bool has_from = false;
-    bool is_delivery = false;  // final hop: deliver to `sub` on replay
-    SubId sub{};
-    int broker_hops = 0;
-    SimTime publish_time = 0;
-  };
-  std::unordered_map<BrokerId, std::vector<BufferedArrival>> retransmit_;
+  std::vector<PublishRecord> publish_ledger_;  // master view
+  // Per-broker message rate (msgs/s) captured from the previous metrics
+  // window; sizes derived retransmit caps for the next fault epoch.
+  std::unordered_map<BrokerId, double> profiled_rate_;
+  std::unordered_map<BrokerId, std::size_t> retransmit_caps_;
 
-  // Previous-sample counters so each sample reports per-interval deltas.
-  struct SampleBaseline {
-    std::uint64_t msgs_in = 0;
-    std::uint64_t msgs_out = 0;
-    SimTime busy_us = 0;
-  };
   obs::TimeSeriesSampler sampler_{
       "broker", {"in_rate_msg_s", "out_rate_msg_s", "queue_backlog_s", "bw_utilization"}};
   SimTime sample_interval_us_ = obs::TimeSeriesSampler::interval_us_from_env();
-  std::unordered_map<BrokerId, SampleBaseline> sample_baselines_;
   bool sampler_scheduled_ = false;
 };
 
