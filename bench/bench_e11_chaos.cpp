@@ -164,31 +164,32 @@ int main() {
                std::to_string(audit.real_losses.size()), level_clean ? "yes" : "NO"},
               widths);
 
-    rows.push_back(JsonObject()
-                       .set_string("kind", "level")
-                       .set_string("level", level.name)
-                       .set_bool("lossless_expected", level.lossless_expected)
-                       .set_bool("clean", level_clean)
-                       .set_integer("fault_events", fault_events)
-                       .set_integer("publications", s.publications)
-                       .set_integer("deliveries", s.deliveries)
-                       .set_number("avg_delivery_delay_ms", s.avg_delivery_delay_ms)
-                       .set_integer("crashes", fs.crashes)
-                       .set_integer("restarts", fs.restarts)
-                       .set_integer("pubs_dropped_at_source", fs.pubs_dropped_at_source)
-                       .set_integer("arrivals_dropped", fs.arrivals_dropped)
-                       .set_integer("deliveries_dropped", fs.deliveries_dropped)
-                       .set_integer("msgs_dropped_link_down", fs.msgs_dropped_link_down)
-                       .set_integer("msgs_dropped_random", fs.msgs_dropped_random)
-                       .set_integer("retransmits_replayed", fs.retransmits_replayed)
-                       .set_integer("retransmit_overflow", fs.retransmit_overflow)
-                       .set_integer("audit_expected", audit.expected)
-                       .set_integer("audit_recorded", audit.recorded)
-                       .set_integer("audit_excused", audit.excused)
-                       .set_integer("audit_out_of_window", audit.out_of_window)
-                       .set_integer("real_losses", audit.real_losses.size())
-                       .set_integer("false_positives", audit.false_positives)
-                       .render());
+    JsonObject level_row;
+    level_row.set_string("kind", "level")
+        .set_string("level", level.name)
+        .set_bool("lossless_expected", level.lossless_expected)
+        .set_bool("clean", level_clean)
+        .set_integer("fault_events", fault_events)
+        .set_integer("publications", s.publications)
+        .set_integer("deliveries", s.deliveries)
+        .set_number("avg_delivery_delay_ms", s.avg_delivery_delay_ms)
+        .set_integer("crashes", fs.crashes)
+        .set_integer("restarts", fs.restarts)
+        .set_integer("pubs_dropped_at_source", fs.pubs_dropped_at_source)
+        .set_integer("arrivals_dropped", fs.arrivals_dropped)
+        .set_integer("deliveries_dropped", fs.deliveries_dropped)
+        .set_integer("msgs_dropped_link_down", fs.msgs_dropped_link_down)
+        .set_integer("msgs_dropped_random", fs.msgs_dropped_random)
+        .set_integer("retransmits_replayed", fs.retransmits_replayed)
+        .set_integer("retransmit_overflow", fs.retransmit_overflow)
+        .set_integer("audit_expected", audit.expected)
+        .set_integer("audit_recorded", audit.recorded)
+        .set_integer("audit_excused", audit.excused)
+        .set_integer("audit_out_of_window", audit.out_of_window)
+        .set_integer("real_losses", audit.real_losses.size())
+        .set_integer("false_positives", audit.false_positives);
+    set_gather_stats(level_row, report.gather);
+    rows.push_back(level_row.render());
   }
 
   // ---- forced failure paths: mid-apply crash, dead entry, re-plan ----

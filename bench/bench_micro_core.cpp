@@ -5,6 +5,7 @@
 
 #include <functional>
 
+#include "alloc/cram_incremental.hpp"
 #include "alloc/gif.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -123,6 +124,105 @@ void BM_GifGrouping(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GifGrouping)->Unit(benchmark::kMillisecond);
+
+// Balanced insert/remove delta batches against an already-populated poset —
+// the splice cost the incremental reconfiguration path pays per churn step
+// (no DAG rebuild). Arg = batch size on a 800-node poset.
+void BM_PosetDelta(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kLive = 800;
+  Rng rng(6);
+  ProfilePoset poset;
+  const auto make = [&rng] {
+    SubscriptionProfile p(256);
+    const auto from = rng.uniform_int(0, 4000);
+    const auto len = 1 + rng.uniform_int(0, 150);
+    for (MessageSeq s = from; s < from + len; ++s) {
+      p.record(AdvId{static_cast<std::uint64_t>(rng.index(8))}, s);
+    }
+    return p;
+  };
+  std::uint64_t payload = 0;
+  for (std::size_t i = 0; i < kLive; ++i) poset.insert(make(), payload++);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<SubscriptionProfile> fresh;
+    fresh.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) fresh.push_back(make());
+    state.ResumeTiming();
+    std::vector<ProfilePoset::NodeId> nodes;
+    nodes.reserve(batch);
+    for (SubscriptionProfile& p : fresh) {
+      const auto ins = poset.insert(std::move(p), payload++);
+      if (ins.inserted) nodes.push_back(ins.node);
+    }
+    for (const auto n : nodes) poset.remove(n);
+    benchmark::DoNotOptimize(poset.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * batch));
+}
+BENCHMARK(BM_PosetDelta)->Arg(1)->Arg(8)->Arg(32)->ArgName("batch");
+
+// One incremental churn step end-to-end: apply a balanced add/remove batch
+// to a warm IncrementalCram session and reconverge the dirty neighborhoods.
+// Compare against BM_PosetInsert-scale from-scratch runs to see the
+// delta-proportional cost. Arg = batch size on a 400-subscription session.
+void BM_IncrementalRecluster(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSubs = 400;
+  Rng rng(7);
+  PublisherTable table;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    table[AdvId{a}] = PublisherProfile{AdvId{a}, 100.0, 100.0, 100000};
+  }
+  const auto make_unit = [&rng, &table](std::uint64_t id) {
+    SubscriptionProfile p(256);
+    const auto group = rng.index(60);  // overlap so clustering has work
+    for (MessageSeq s = 0; s < 40; ++s) {
+      p.record(AdvId{static_cast<std::uint64_t>(rng.index(8))},
+               static_cast<MessageSeq>(group) * 30 + s);
+    }
+    return make_subscription_unit(SubId{id}, std::move(p), table);
+  };
+  std::vector<SubUnit> units;
+  std::vector<SubId> live;
+  units.reserve(kSubs);
+  for (std::uint64_t i = 0; i < kSubs; ++i) {
+    units.push_back(make_unit(i));
+    live.push_back(SubId{i});
+  }
+  std::vector<AllocBroker> pool(24);
+  for (std::size_t b = 0; b < pool.size(); ++b) {
+    pool[b] = AllocBroker{BrokerId{b}, 4000.0, MatchingDelayFunction{}};
+  }
+  IncrementalCram session(std::move(pool), std::move(units), table, CramOptions{});
+  if (!session.initialize().allocation.success) {
+    state.SkipWithError("initial convergence failed");
+    return;
+  }
+  std::uint64_t next_id = kSubs;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<SubUnit> added;
+    std::vector<SubId> removed;
+    added.reserve(batch);
+    removed.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      added.push_back(make_unit(next_id));
+      live.push_back(SubId{next_id++});
+      const std::size_t pick = rng.index(live.size());
+      removed.push_back(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    state.ResumeTiming();
+    const CramResult r = session.apply(std::move(added), removed);
+    benchmark::DoNotOptimize(r.allocation.brokers_used());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * batch));
+}
+BENCHMARK(BM_IncrementalRecluster)->Arg(1)->Arg(8)->Arg(32)->ArgName("batch")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MatchingEngine(benchmark::State& state) {
   Rng rng(6);

@@ -196,7 +196,19 @@ JsonObject run_result_json(const RunResult& r) {
       .set_number("avg_hop_count", r.summary.avg_hop_count)
       .set_number("system_msg_rate", r.summary.system_msg_rate)
       .set_number("avg_broker_msg_rate", r.summary.avg_broker_msg_rate);
+  if (r.reconfigured) set_gather_stats(row, r.report.gather);
   return row;
+}
+
+JsonObject& set_gather_stats(JsonObject& row, const GatherStats& g) {
+  return row.set_integer("gather_bir_messages", g.bir_messages)
+      .set_integer("gather_bia_messages", g.bia_messages)
+      .set_integer("gather_brokers_answered", g.brokers_answered)
+      .set_integer("gather_unreachable_brokers", g.unreachable_brokers)
+      .set_integer("gather_retries", g.retries)
+      .set_number("gather_backoff_s", g.backoff_s)
+      .set_integer("gather_epoch_probes", g.epoch_probes)
+      .set_integer("gather_brokers_reused", g.brokers_reused);
 }
 
 RunReport make_sim_report(const std::string& bench) {

@@ -113,6 +113,12 @@ using obs::write_text_file;
 // add their sweep coordinates (subs, brokers, ...) on top.
 [[nodiscard]] JsonObject run_result_json(const RunResult& r);
 
+// Append Phase 1 gather statistics (message counts, unreachable brokers,
+// retries, simulated backoff, epoch-probe reuse) to a JSON row under
+// "gather_*" keys. run_result_json applies it automatically; benches that
+// assemble rows by hand call it on rows that carry a ReconfigurationReport.
+JsonObject& set_gather_stats(JsonObject& row, const GatherStats& g);
+
 // Start the standard sim-bench report (full_scale/tiny_scale header fields
 // filled in); benches add rows and sweep-specific header fields on top.
 [[nodiscard]] RunReport make_sim_report(const std::string& bench);

@@ -96,6 +96,12 @@ struct CramResult {
   CramStats stats;
 };
 
+// Normalize an options struct the way cram_allocate does before running:
+// poset pruning is forced off without GIF grouping, and GREENPS_CRAM_THREADS
+// (when set) overrides the thread count. IncrementalCram applies the same
+// resolution so a delta session and a from-scratch run see identical knobs.
+[[nodiscard]] CramOptions resolve_cram_options(const CramOptions& options);
+
 [[nodiscard]] CramResult cram_allocate(std::vector<AllocBroker> pool,
                                        std::vector<SubUnit> units,
                                        const PublisherTable& table,

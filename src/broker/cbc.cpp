@@ -5,9 +5,12 @@ namespace greenps {
 void CbcComponent::register_subscription(SubId id, ClientId client, Filter filter) {
   SubState s{client, std::move(filter), SubscriptionProfile(window_bits_)};
   subs_.insert_or_assign(id, std::move(s));
+  ++epoch_;
 }
 
-void CbcComponent::unregister_subscription(SubId id) { subs_.erase(id); }
+void CbcComponent::unregister_subscription(SubId id) {
+  if (subs_.erase(id) > 0) ++epoch_;
+}
 
 void CbcComponent::record_delivery(SubId id, AdvId adv, MessageSeq seq) {
   const auto it = subs_.find(id);
@@ -19,9 +22,12 @@ void CbcComponent::register_publisher(ClientId client, AdvId adv) {
   PubState p;
   p.client = client;
   pubs_.insert_or_assign(adv, p);
+  ++epoch_;
 }
 
-void CbcComponent::unregister_publisher(AdvId adv) { pubs_.erase(adv); }
+void CbcComponent::unregister_publisher(AdvId adv) {
+  if (pubs_.erase(adv) > 0) ++epoch_;
+}
 
 void CbcComponent::record_publish(AdvId adv, MessageSeq seq, MsgSize size_kb, SimTime now) {
   const auto it = pubs_.find(adv);
@@ -80,6 +86,7 @@ BrokerInfo CbcComponent::snapshot(BrokerId broker, const MatchingDelayFunction& 
   info.id = broker;
   info.delay = fitted_delay().value_or(fallback_delay);
   info.total_out_bw = out_bw;
+  info.epoch = epoch_;
   info.subscriptions.reserve(subs_.size());
   for (const auto& [id, s] : subs_) {
     info.subscriptions.push_back(LocalSubscriptionInfo{id, s.client, s.filter, s.profile});
@@ -107,6 +114,7 @@ BrokerInfo CbcComponent::snapshot(BrokerId broker, const MatchingDelayFunction& 
 void CbcComponent::clear() {
   subs_.clear();
   pubs_.clear();
+  ++epoch_;
 }
 
 }  // namespace greenps

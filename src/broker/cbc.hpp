@@ -6,6 +6,7 @@
 // Information Request with a BrokerInfo snapshot.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,10 @@ struct BrokerInfo {
   BrokerId id;                        // stands in for the broker URL
   MatchingDelayFunction delay;        // matching delay function
   Bandwidth total_out_bw = 0;         // total output bandwidth
+  // Structural profile epoch at snapshot time (see CbcComponent::epoch()).
+  // An incremental gather skips re-transferring this broker's payload when
+  // its epoch has not moved since the cached BIA.
+  std::uint64_t epoch = 0;
   std::vector<LocalSubscriptionInfo> subscriptions;
   std::vector<LocalPublisherInfo> publishers;
 };
@@ -79,6 +84,12 @@ class CbcComponent {
   [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
   [[nodiscard]] std::size_t publisher_count() const { return pubs_.size(); }
 
+  // Structural profile epoch: bumped when the set of local subscriptions or
+  // publishers changes (register/unregister/clear), NOT on every recorded
+  // delivery or publish — message traffic must not invalidate cached BIAs,
+  // or epoch-based incremental gathers would never get a cache hit.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   struct SubState {
     ClientId client;
@@ -108,6 +119,7 @@ class CbcComponent {
   };
 
   std::size_t window_bits_;
+  std::uint64_t epoch_ = 0;
   std::unordered_map<SubId, SubState> subs_;
   std::unordered_map<AdvId, PubState> pubs_;
   MatchSamples match_samples_;

@@ -1,6 +1,9 @@
 #include "croc/croc.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_set>
+#include <utility>
 
 #include "alloc/bin_packing.hpp"
 #include "alloc/fbf.hpp"
@@ -125,8 +128,6 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
   const auto t2 = Clock::now();
   GREENPS_INSTANT("croc.phase2.start");
   Allocation phase2;
-  const bool pairwise = config_.algorithm == Phase2Algorithm::kPairwiseK ||
-                        config_.algorithm == Phase2Algorithm::kPairwiseN;
   {
     GREENPS_SPAN_TAGGED("croc.phase2", static_cast<std::uint64_t>(config_.algorithm));
     switch (config_.algorithm) {
@@ -167,6 +168,16 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
     return report;
   }
   report.cluster_count = phase2.unit_count();
+  return finish_plan(info, std::move(pool), std::move(phase2), std::move(report), rng);
+}
+
+ReconfigurationReport Croc::finish_plan(const GatheredInfo& info,
+                                        std::vector<AllocBroker> pool, Allocation phase2,
+                                        ReconfigurationReport report, Rng& rng) {
+  const PublisherTable& table = info.publisher_table;
+  const bool pairwise = !report.incremental &&
+                        (config_.algorithm == Phase2Algorithm::kPairwiseK ||
+                         config_.algorithm == Phase2Algorithm::kPairwiseN);
 
   // ---- Phase 3 ----
   const auto t3 = Clock::now();
@@ -208,7 +219,9 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
     }
   } else {
     AllocatorFn allocator;
-    switch (config_.algorithm) {
+    // Incremental sessions allocate with CRAM whatever config_.algorithm
+    // says; the recursion must use the same allocator as Phase 2 did.
+    switch (report.incremental ? Phase2Algorithm::kCram : config_.algorithm) {
       case Phase2Algorithm::kFbf:
         allocator = [&rng](const std::vector<AllocBroker>& p, const std::vector<SubUnit>& u,
                            const PublisherTable& t) { return fbf_allocate(p, u, t, rng); };
@@ -279,6 +292,220 @@ ReconfigurationReport Croc::plan_from_info(const GatheredInfo& info) {
   reg.gauge("croc.cluster_count").set(static_cast<double>(report.cluster_count));
   reg.gauge("croc.allocated_brokers").set(static_cast<double>(report.allocated_brokers));
   return report;
+}
+
+// ---- incremental reconfiguration ----
+
+struct Croc::Session {
+  GatheredInfo info;              // latest gathered state; the BIA cache
+  std::vector<AllocBroker> pool;  // headroom-scaled allocator pool
+  std::unordered_set<SubId> live; // subscription ids currently in the session
+  std::unique_ptr<IncrementalCram> cram;
+};
+
+Croc::Croc(CrocConfig config) : config_(config) {}
+Croc::~Croc() = default;
+Croc::Croc(Croc&&) noexcept = default;
+Croc& Croc::operator=(Croc&&) noexcept = default;
+
+const IncrementalCram* Croc::session_cram() const {
+  return session_ != nullptr ? session_->cram.get() : nullptr;
+}
+
+void Croc::end_incremental() { session_.reset(); }
+
+ReconfigurationReport Croc::begin_incremental(const GatheredInfo& info) {
+  GREENPS_SPAN("croc.begin_incremental");
+  end_incremental();
+  ReconfigurationReport report;
+  report.incremental = true;
+  Rng rng(config_.seed);
+  std::vector<AllocBroker> pool = pool_from(info);
+  if (pool.empty()) {
+    report.failure = FailureReason::kGatherFailed;
+    log::warn("begin_incremental: gathered info names no brokers; nothing to plan");
+    return report;
+  }
+  for (AllocBroker& b : pool) b.out_bw *= config_.capacity_headroom;
+
+  auto session = std::make_unique<Session>();
+  session->info = info;
+  session->pool = pool;
+  session->live.reserve(info.subscriptions.size());
+  for (const SubscriptionRecord& rec : info.subscriptions) {
+    session->live.insert(rec.info.id);
+  }
+  session->cram = std::make_unique<IncrementalCram>(
+      std::move(pool), units_from(info), info.publisher_table, config_.cram);
+
+  const auto t2 = Clock::now();
+  GREENPS_INSTANT("croc.phase2.start");
+  CramResult r = session->cram->initialize();
+  report.cram = r.stats;
+  report.phase2_seconds = seconds_since(t2);
+  if (!r.allocation.success) {
+    // No session survives a failed convergence: there is no feasible warm
+    // state for later deltas to start from.
+    report.failure = FailureReason::kPhase2Insufficient;
+    log::warn("begin_incremental: CRAM failed: insufficient broker resources");
+    return report;
+  }
+  report.cluster_count = r.allocation.unit_count();
+  session_ = std::move(session);
+  obs::MetricsRegistry::global().counter("croc.incremental.sessions").add(1);
+  return finish_plan(session_->info, session_->pool, std::move(r.allocation),
+                     std::move(report), rng);
+}
+
+ReconfigurationReport Croc::plan_incremental(const SubscriptionDelta& delta) {
+  GREENPS_SPAN("croc.plan_incremental");
+  ReconfigurationReport report;
+  report.incremental = true;
+  if (session_ == nullptr) {
+    report.failure = FailureReason::kNoIncrementalSession;
+    log::warn("plan_incremental called without a live session; "
+              "run begin_incremental (or reconfigure_incremental) first");
+    return report;
+  }
+  Session& s = *session_;
+
+  const auto t2 = Clock::now();
+  GREENPS_INSTANT("croc.phase2.start");
+  std::vector<SubUnit> added;
+  added.reserve(delta.added.size());
+  for (const SubscriptionRecord& rec : delta.added) {
+    added.push_back(make_subscription_unit(rec.info.id, rec.info.profile, s.cram->table()));
+  }
+  CramResult r = s.cram->apply(std::move(added), delta.removed);
+  report.cram = r.stats;
+  report.delta = s.cram->last_delta();
+  report.phase2_seconds = seconds_since(t2);
+
+  // Keep the session's subscription view in step with the delta. Insertion
+  // is presence-checked so this stays idempotent under
+  // reconfigure_incremental, which refreshes the view from the gather (new
+  // arrivals already included) before planning.
+  const std::unordered_set<SubId> removed_set(delta.removed.begin(), delta.removed.end());
+  std::erase_if(s.info.subscriptions, [&](const SubscriptionRecord& rec) {
+    return removed_set.contains(rec.info.id);
+  });
+  for (const SubId id : delta.removed) s.live.erase(id);
+  std::unordered_set<SubId> present;
+  present.reserve(s.info.subscriptions.size());
+  for (const SubscriptionRecord& rec : s.info.subscriptions) present.insert(rec.info.id);
+  for (const SubscriptionRecord& rec : delta.added) {
+    s.live.insert(rec.info.id);
+    if (present.insert(rec.info.id).second) s.info.subscriptions.push_back(rec);
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("croc.incremental.plans").add(1);
+  reg.counter("croc.incremental.subs_added").add(delta.added.size());
+  reg.counter("croc.incremental.subs_removed").add(delta.removed.size());
+
+  if (!r.allocation.success) {
+    // The session stays live: its state is consistent, merely infeasible on
+    // the current pool — a later removal-heavy delta can recover it.
+    report.failure = FailureReason::kPhase2Insufficient;
+    log::warn("plan_incremental: reconvergence failed: insufficient broker resources");
+    return report;
+  }
+  report.cluster_count = r.allocation.unit_count();
+  Rng rng(config_.seed);
+  return finish_plan(s.info, s.pool, std::move(r.allocation), std::move(report), rng);
+}
+
+namespace {
+
+// The warm CRAM state is keyed to the broker pool and publisher set it
+// converged on; a change to either (broker joined/left/resized, publisher
+// appeared/vanished) invalidates the packing and the unit rates wholesale.
+bool structural_reset_needed(const GatheredInfo& prev, const GatheredInfo& now) {
+  if (prev.brokers.size() != now.brokers.size()) return true;
+  std::unordered_map<BrokerId, Bandwidth> caps;
+  caps.reserve(prev.brokers.size());
+  for (const BrokerInfo& b : prev.brokers) caps.emplace(b.id, b.total_out_bw);
+  for (const BrokerInfo& b : now.brokers) {
+    const auto it = caps.find(b.id);
+    if (it == caps.end() || it->second != b.total_out_bw) return true;
+  }
+  if (prev.publisher_table.size() != now.publisher_table.size()) return true;
+  for (const auto& [adv, prof] : now.publisher_table) {
+    (void)prof;
+    if (!prev.publisher_table.contains(adv)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReconfigurationReport Croc::reconfigure_incremental(const Simulation& sim, BrokerId entry) {
+  GREENPS_SPAN("croc.reconfigure_incremental");
+  const auto t0 = Clock::now();
+  const auto provider = [&sim](BrokerId b) { return sim.broker_info_if_reachable(b); };
+
+  const auto finalize = [&](ReconfigurationReport report, const GatherStats& gather) {
+    report.gather = gather;
+    report.phase1_seconds = seconds_since(t0) - report.phase2_seconds -
+                            report.phase3_seconds - report.grape_seconds;
+    if (report.success) report.migration = migration_cost(sim.deployment(), report.plan);
+    return report;
+  };
+  const auto gather_failed = [&](GatherStats stats) {
+    ReconfigurationReport report;
+    report.incremental = true;
+    report.failure = FailureReason::kGatherFailed;
+    log::warn("incremental phase 1 gathered no broker info (entry broker ",
+              entry.value(), " unreachable?); reconfiguration aborted");
+    return finalize(std::move(report), stats);
+  };
+  const auto bootstrap = [&](GatheredInfo info) {
+    if (info.brokers.empty()) return gather_failed(info.stats);
+    return finalize(begin_incremental(info), info.stats);
+  };
+
+  if (session_ == nullptr) {
+    GREENPS_SPAN("croc.phase1.gather");
+    return bootstrap(gather_information(sim.deployment().topology, entry, provider));
+  }
+
+  GatheredInfo info;
+  {
+    GREENPS_SPAN("croc.phase1.gather_incremental");
+    info = gather_information_incremental(
+        sim.deployment().topology, entry, session_->info,
+        [&sim](BrokerId b) { return sim.broker_epoch_if_reachable(b); }, provider);
+  }
+  if (info.brokers.empty()) return gather_failed(info.stats);
+  if (structural_reset_needed(session_->info, info)) {
+    obs::MetricsRegistry::global().counter("croc.incremental.session_resets").add(1);
+    end_incremental();
+    return bootstrap(std::move(info));
+  }
+
+  // The delta is the diff between what Phase 1 now reports and what the
+  // session converged on.
+  SubscriptionDelta delta;
+  std::unordered_set<SubId> now_ids;
+  now_ids.reserve(info.subscriptions.size());
+  for (const SubscriptionRecord& rec : info.subscriptions) {
+    now_ids.insert(rec.info.id);
+    if (!session_->live.contains(rec.info.id)) delta.added.push_back(rec);
+  }
+  for (const SubId id : session_->live) {
+    if (!now_ids.contains(id)) delta.removed.push_back(id);
+  }
+  // live is an unordered set; keep the delta (and so the reconvergence)
+  // independent of its iteration order.
+  std::sort(delta.removed.begin(), delta.removed.end());
+  std::sort(delta.added.begin(), delta.added.end(),
+            [](const SubscriptionRecord& a, const SubscriptionRecord& b) {
+              return a.info.id < b.info.id;
+            });
+
+  const GatherStats gather = info.stats;
+  session_->info = std::move(info);  // refresh the BIA cache for the next gather
+  return finalize(plan_incremental(delta), gather);
 }
 
 }  // namespace greenps

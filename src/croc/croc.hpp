@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "alloc/cram.hpp"
+#include "alloc/cram_incremental.hpp"
+#include "common/rng.hpp"
 #include "croc/info_gathering.hpp"
 #include "croc/reconfig_plan.hpp"
 #include "grape/grape.hpp"
@@ -62,6 +65,10 @@ struct ReconfigurationReport {
   CramStats cram;                // populated when CRAM ran
   OverlayBuildStats overlay;     // populated for recursive construction
   MigrationCost migration;       // populated by reconfigure()
+  // True when the plan came from the incremental path (session deltas
+  // reconverged in place instead of a from-scratch Phase 2).
+  bool incremental = false;
+  CramDeltaStats delta;          // populated by incremental plans
   std::size_t allocated_brokers = 0;
   std::size_t cluster_count = 0;
   double phase1_seconds = 0;
@@ -74,9 +81,26 @@ struct ReconfigurationReport {
 [[nodiscard]] MigrationCost migration_cost(const Deployment& current,
                                            const ReconfigurationPlan& plan);
 
+// One batch of subscription churn between two reconfigurations, as the
+// incremental planner consumes it.
+struct SubscriptionDelta {
+  // Arrivals, as Phase 1 would report them (home broker + local info).
+  std::vector<SubscriptionRecord> added;
+  // Departures, by subscription id.
+  std::vector<SubId> removed;
+
+  [[nodiscard]] bool empty() const { return added.empty() && removed.empty(); }
+  [[nodiscard]] std::size_t size() const { return added.size() + removed.size(); }
+};
+
 class Croc {
  public:
-  explicit Croc(CrocConfig config) : config_(config) {}
+  // Out-of-line (with the destructor and moves): Session is incomplete
+  // here, and unique_ptr<Session> needs the complete type to instantiate.
+  explicit Croc(CrocConfig config);
+  ~Croc();
+  Croc(Croc&&) noexcept;
+  Croc& operator=(Croc&&) noexcept;
 
   // Run all phases against a live simulation, entering the overlay at
   // `entry`. The returned plan is not applied; pass it to apply_plan().
@@ -93,8 +117,53 @@ class Croc {
   [[nodiscard]] static std::vector<SubUnit> units_from(const GatheredInfo& info);
   [[nodiscard]] static std::vector<AllocBroker> pool_from(const GatheredInfo& info);
 
+  // ---- incremental reconfiguration (subscription churn) ----
+  //
+  // A session keeps Phase 2's converged CRAM state (and the Phase 1 BIA
+  // cache) alive between reconfigurations. Deltas reconverge only the dirty
+  // neighborhoods, so per-step cost scales with the churn, not the live
+  // population. Sessions always allocate with CRAM (config.cram options),
+  // whatever `algorithm` says — the other allocators have no incremental
+  // form. The emitted plan is a complete ReconfigurationPlan; feed it to
+  // apply_plan_transactional as usual (only clients whose home actually
+  // changed migrate, which migration_cost quantifies).
+
+  // Start a session from already-gathered info: full Phase 2 convergence
+  // (the warm state every later delta starts from), then Phases 3 + GRAPE.
+  [[nodiscard]] ReconfigurationReport begin_incremental(const GatheredInfo& info);
+
+  // Apply one delta batch to the live session and emit a fresh plan from
+  // the incrementally reconverged allocation. Fails with
+  // FailureReason::kNoIncrementalSession when no session is live.
+  [[nodiscard]] ReconfigurationReport plan_incremental(const SubscriptionDelta& delta);
+
+  // Incremental counterpart of reconfigure(): epoch-based Phase 1 (brokers
+  // whose profile epoch is unchanged reuse their cached BIA), delta derived
+  // by diffing the gathered subscriptions against the session's live set.
+  // Without a session — or when the broker pool or publisher set changed,
+  // which invalidates the warm state — it bootstraps a fresh session via a
+  // full gather + begin_incremental.
+  [[nodiscard]] ReconfigurationReport reconfigure_incremental(const Simulation& sim,
+                                                              BrokerId entry);
+
+  [[nodiscard]] bool has_session() const { return session_ != nullptr; }
+  // The session's live CRAM state, for differential oracles. nullptr when
+  // no session is live.
+  [[nodiscard]] const IncrementalCram* session_cram() const;
+  void end_incremental();
+
  private:
+  struct Session;
+
+  // Phases 3 + GRAPE from a successful Phase 2 allocation (the shared tail
+  // of plan_from_info and the incremental planners).
+  [[nodiscard]] ReconfigurationReport finish_plan(const GatheredInfo& info,
+                                                  std::vector<AllocBroker> pool,
+                                                  Allocation phase2,
+                                                  ReconfigurationReport report, Rng& rng);
+
   CrocConfig config_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace greenps

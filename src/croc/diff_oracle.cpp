@@ -1,0 +1,95 @@
+#include "croc/diff_oracle.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+
+namespace greenps {
+
+DiffOracleResult diff_against_scratch(const IncrementalCram& session,
+                                      const Allocation& incremental,
+                                      const DiffOracleOptions& options) {
+  DiffOracleResult res;
+  const std::vector<SubUnit> live = session.current_original_units();
+  const CramResult scratch =
+      cram_allocate(session.pool(), live, session.table(), session.options());
+  res.scratch_stats = scratch.stats;
+
+  std::ostringstream detail;
+
+  res.success_agrees = incremental.success == scratch.allocation.success;
+  if (!res.success_agrees) {
+    detail << "success mismatch: incremental="
+           << (incremental.success ? "ok" : "failed")
+           << " scratch=" << (scratch.allocation.success ? "ok" : "failed");
+  }
+
+  // Member conservation: the incremental allocation must serve exactly the
+  // live subscription set, each id once.
+  std::unordered_set<SubId> expected;
+  expected.reserve(live.size());
+  for (const SubUnit& u : live) expected.insert(u.members.front());
+  std::unordered_set<SubId> seen;
+  seen.reserve(expected.size());
+  res.members_conserved = true;
+  for (const BrokerLoad& b : incremental.brokers) {
+    for (const SubUnit& u : b.units()) {
+      for (const SubId m : u.members) {
+        if (!expected.contains(m)) {
+          res.members_conserved = false;
+          if (detail.str().empty()) {
+            detail << "member " << m.value() << " allocated but not live";
+          }
+        } else if (!seen.insert(m).second) {
+          res.members_conserved = false;
+          if (detail.str().empty()) {
+            detail << "member " << m.value() << " allocated twice";
+          }
+        }
+      }
+    }
+  }
+  if (incremental.success && seen.size() != expected.size()) {
+    res.members_conserved = false;
+    if (detail.str().empty()) {
+      detail << "allocated members " << seen.size() << " != live " << expected.size();
+    }
+  }
+
+  res.incremental_objective = incremental.total_in_rate();
+  res.scratch_objective = scratch.allocation.total_in_rate();
+  res.incremental_brokers = incremental.brokers_used();
+  res.scratch_brokers = scratch.allocation.brokers_used();
+
+  if (incremental.success && scratch.allocation.success) {
+    res.objective_bounded = res.incremental_objective <=
+                            res.scratch_objective * (1.0 + options.objective_epsilon);
+    if (!res.objective_bounded && detail.str().empty()) {
+      detail << "objective " << res.incremental_objective << " exceeds scratch "
+             << res.scratch_objective << " * (1 + " << options.objective_epsilon << ")";
+    }
+    res.brokers_bounded =
+        res.incremental_brokers <= res.scratch_brokers + options.broker_slack;
+    if (!res.brokers_bounded && detail.str().empty()) {
+      detail << "brokers " << res.incremental_brokers << " exceed scratch "
+             << res.scratch_brokers << " + " << options.broker_slack;
+    }
+  } else {
+    // Nothing to bound when either side failed; success agreement (and, on
+    // the incremental side, conservation) already carry the verdict.
+    res.objective_bounded = true;
+    res.brokers_bounded = true;
+  }
+
+  res.ok = res.success_agrees && res.members_conserved && res.objective_bounded &&
+           res.brokers_bounded;
+  res.detail = detail.str();
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("croc.incremental.oracle_runs").add(1);
+  if (!res.ok) reg.counter("croc.incremental.oracle_failures").add(1);
+  return res;
+}
+
+}  // namespace greenps

@@ -1,0 +1,58 @@
+// Differential oracle for incremental reconfiguration.
+//
+// An incremental reconvergence is allowed to be *bounded-worse* than a
+// from-scratch run on the same post-delta population: neighborhoods the
+// delta never dirtied are not re-searched, so a clustering opportunity the
+// new packing would admit can go unnoticed — but nothing else may differ.
+// The oracle re-runs CRAM from scratch on the session's live subscriptions
+// (same pool, same table, same options) and checks:
+//
+//   1. success agreement — both allocate or both fail;
+//   2. member conservation — every live subscription appears in the
+//      incremental allocation exactly once, and nothing else does;
+//   3. objective bound — union-rate objective (Allocation::total_in_rate,
+//      the traffic entering the broker tier) within a configurable relative
+//      epsilon of the from-scratch result;
+//   4. broker bound — at most `broker_slack` more brokers than from-scratch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "alloc/cram_incremental.hpp"
+
+namespace greenps {
+
+struct DiffOracleOptions {
+  // Relative slack on the union-rate objective: incremental may cost up to
+  // scratch * (1 + objective_epsilon). 0 demands an identical-or-better
+  // objective (floating-point exact, since both sides sum the same rates).
+  double objective_epsilon = 0.05;
+  // Brokers the incremental allocation may use beyond the from-scratch one.
+  std::size_t broker_slack = 0;
+};
+
+struct DiffOracleResult {
+  bool ok = false;  // all checks below passed
+  bool success_agrees = false;
+  bool members_conserved = false;
+  bool objective_bounded = false;
+  bool brokers_bounded = false;
+  double incremental_objective = 0;  // total_in_rate
+  double scratch_objective = 0;
+  std::size_t incremental_brokers = 0;
+  std::size_t scratch_brokers = 0;
+  // Comparison counts of the oracle's from-scratch run — the denominator of
+  // the incremental speedup claim.
+  CramStats scratch_stats;
+  std::string detail;  // first violated check, human-readable; empty when ok
+};
+
+// Verify `incremental` (the allocation the session just produced) against a
+// from-scratch cram_allocate on session.current_original_units(). The
+// scratch run is pure — the session is not touched.
+[[nodiscard]] DiffOracleResult diff_against_scratch(const IncrementalCram& session,
+                                                    const Allocation& incremental,
+                                                    const DiffOracleOptions& options = {});
+
+}  // namespace greenps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "obs/metrics.hpp"
@@ -70,20 +71,9 @@ BrokerInformationAnswer gather_subtree(const Topology& overlay, BrokerId b, Brok
   return answer;
 }
 
-}  // namespace
-
-GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
-                                const BrokerInfoProvider& provider,
-                                const GatherOptions& options) {
-  assert(overlay.has_broker(entry));
-  GatheredInfo out;
-  std::unordered_set<BrokerId> visited;
-  out.stats.bir_messages += 1;  // CROC -> entry broker
-  BrokerInformationAnswer root =
-      gather_subtree(overlay, entry, entry, provider, options, visited, out.stats);
-  out.stats.bia_messages += 1;  // entry broker -> CROC (or its timeout)
-  out.brokers = std::move(root.infos);
-
+// Shared tail of both gather flavors: derive the flat subscription /
+// publisher / table views from the collected BIAs and publish the stats.
+void finalize_gather(GatheredInfo& out) {
   for (const BrokerInfo& info : out.brokers) {
     for (const LocalSubscriptionInfo& s : info.subscriptions) {
       out.subscriptions.push_back(SubscriptionRecord{info.id, s});
@@ -102,7 +92,70 @@ GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
     reg.counter("croc.gather_unreachable").add(out.stats.unreachable_brokers);
     reg.counter("croc.gather_retries").add(out.stats.retries);
   }
+  if (out.stats.epoch_probes > 0) {
+    reg.counter("croc.gather_epoch_probes").add(out.stats.epoch_probes);
+    reg.counter("croc.gather_brokers_reused").add(out.stats.brokers_reused);
+  }
   GREENPS_COUNTER("croc.gather.brokers_answered", out.stats.brokers_answered);
+}
+
+}  // namespace
+
+GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
+                                const BrokerInfoProvider& provider,
+                                const GatherOptions& options) {
+  assert(overlay.has_broker(entry));
+  GatheredInfo out;
+  std::unordered_set<BrokerId> visited;
+  out.stats.bir_messages += 1;  // CROC -> entry broker
+  BrokerInformationAnswer root =
+      gather_subtree(overlay, entry, entry, provider, options, visited, out.stats);
+  out.stats.bia_messages += 1;  // entry broker -> CROC (or its timeout)
+  out.brokers = std::move(root.infos);
+  finalize_gather(out);
+  return out;
+}
+
+GatheredInfo gather_information_incremental(const Topology& overlay, BrokerId entry,
+                                            const GatheredInfo& previous,
+                                            const BrokerEpochProbe& epoch_probe,
+                                            const BrokerInfoProvider& provider,
+                                            const GatherOptions& options) {
+  assert(overlay.has_broker(entry));
+  std::unordered_map<BrokerId, const BrokerInfo*> cache;
+  cache.reserve(previous.brokers.size());
+  for (const BrokerInfo& b : previous.brokers) cache.emplace(b.id, &b);
+
+  // The traversal, retries and unreachable accounting are untouched — the
+  // epoch check simply wraps the provider: a cached broker answers its
+  // epoch first, and an unchanged epoch stands in for the full BIA.
+  GatheredInfo out;
+  std::size_t epoch_probes = 0;
+  std::size_t brokers_reused = 0;
+  const BrokerInfoProvider cached_provider =
+      [&](BrokerId b) -> std::optional<BrokerInfo> {
+    const auto hit = cache.find(b);
+    if (hit != cache.end()) {
+      ++epoch_probes;
+      if (const std::optional<std::uint64_t> e = epoch_probe(b);
+          e.has_value() && *e == hit->second->epoch) {
+        ++brokers_reused;
+        return *hit->second;
+      }
+      // Epoch moved (or the probe timed out): fall through to a full query.
+    }
+    return provider(b);
+  };
+
+  std::unordered_set<BrokerId> visited;
+  out.stats.bir_messages += 1;  // CROC -> entry broker
+  BrokerInformationAnswer root =
+      gather_subtree(overlay, entry, entry, cached_provider, options, visited, out.stats);
+  out.stats.bia_messages += 1;  // entry broker -> CROC (or its timeout)
+  out.brokers = std::move(root.infos);
+  out.stats.epoch_probes = epoch_probes;
+  out.stats.brokers_reused = brokers_reused;
+  finalize_gather(out);
   return out;
 }
 

@@ -23,6 +23,9 @@ struct GatherStats {
   std::size_t unreachable_brokers = 0;  // every attempt timed out
   std::size_t retries = 0;              // BIRs re-sent after a timeout
   double backoff_s = 0;                 // simulated time spent waiting on timeouts
+  // Incremental (epoch-based) gathers only:
+  std::size_t epoch_probes = 0;    // cheap epoch queries sent before full BIAs
+  std::size_t brokers_reused = 0;  // cached BIAs reused (epoch unchanged)
 };
 
 struct GatheredInfo {
@@ -56,5 +59,22 @@ struct GatherOptions {
 [[nodiscard]] GatheredInfo gather_information(const Topology& overlay, BrokerId entry,
                                               const BrokerInfoProvider& provider,
                                               const GatherOptions& options = {});
+
+// Cheap per-broker probe for the structural profile epoch (typically
+// Simulation::broker_epoch_if_reachable); nullopt models a timeout.
+using BrokerEpochProbe = std::function<std::optional<std::uint64_t>(BrokerId)>;
+
+// Epoch-based incremental gather: the same BIR/BIA traversal, but each
+// broker with a cached BIA in `previous` is first sent an epoch probe —
+// when the answered epoch matches the cached snapshot's, the cached payload
+// is reused without re-transferring the full BIA (stats.brokers_reused).
+// Brokers whose epoch moved, whose probe timed out, or that are new since
+// `previous` are queried in full under the usual retry policy, so the
+// result is exactly what gather_information would return on the live
+// overlay — only the per-broker transfer cost changes.
+[[nodiscard]] GatheredInfo gather_information_incremental(
+    const Topology& overlay, BrokerId entry, const GatheredInfo& previous,
+    const BrokerEpochProbe& epoch_probe, const BrokerInfoProvider& provider,
+    const GatherOptions& options = {});
 
 }  // namespace greenps

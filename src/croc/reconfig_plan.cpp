@@ -14,6 +14,7 @@ const char* failure_reason_name(FailureReason r) {
     case FailureReason::kPhase2Insufficient: return "phase2_insufficient";
     case FailureReason::kPlanInvalid: return "plan_invalid";
     case FailureReason::kBrokerUnreachable: return "broker_unreachable";
+    case FailureReason::kNoIncrementalSession: return "no_incremental_session";
   }
   return "?";
 }

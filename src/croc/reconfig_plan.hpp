@@ -33,6 +33,7 @@ enum class FailureReason {
   kPhase2Insufficient,   // allocation failed: not enough broker resources
   kPlanInvalid,          // plan inconsistent with the current deployment
   kBrokerUnreachable,    // a target broker died mid-apply; rolled back
+  kNoIncrementalSession, // plan_incremental called without begin_incremental
 };
 
 [[nodiscard]] const char* failure_reason_name(FailureReason r);

@@ -144,9 +144,28 @@ void ProfilePoset::remove(NodeId node) {
   }
   n.alive = false;
   n.payload = kNoPayload;
+  // Release payload storage, not just reset it: the profile's bit vectors
+  // and the (already-emptied) edge lists keep their heap allocations
+  // otherwise, and under subscription churn dead slots would pin the
+  // high-water memory of every profile ever inserted.
   n.profile = SubscriptionProfile();
+  n.parents.clear();
+  n.parents.shrink_to_fit();
+  n.children.clear();
+  n.children.shrink_to_fit();
   --live_;
   free_list_.push_back(node);
+  // Compact trailing dead slots so node storage tracks the live high-water
+  // mark instead of the total insert count. Interior dead slots stay on the
+  // free list (live NodeIds must remain stable), but removal-heavy churn
+  // keeps exposing new trailing runs, bounding steady-state slot count.
+  while (nodes_.size() > 1 && !nodes_.back().alive) {
+    const NodeId dead = nodes_.size() - 1;
+    free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), dead),
+                     free_list_.end());
+    nodes_.pop_back();
+    ++slots_compacted_;
+  }
 }
 
 std::vector<ProfilePoset::NodeId> ProfilePoset::descendants(NodeId node) const {

@@ -47,6 +47,15 @@ class ProfilePoset {
   // Number of live nodes (excluding the root).
   [[nodiscard]] std::size_t size() const { return live_; }
 
+  // Number of allocated node slots (excluding the root), live or free.
+  // remove() reclaims payload storage and compacts trailing dead slots, so
+  // under balanced insert/remove churn this stays bounded by the live
+  // high-water mark instead of growing with the total insert count.
+  [[nodiscard]] std::size_t slot_count() const { return nodes_.size() - 1; }
+
+  // Slots reclaimed by trailing compaction over the poset's lifetime.
+  [[nodiscard]] std::size_t slots_compacted() const { return slots_compacted_; }
+
   // Breadth-first walk from the root. `fn(node)` returns true to descend
   // into the node's children. The root itself is not visited.
   template <typename Fn>
@@ -90,6 +99,7 @@ class ProfilePoset {
   std::vector<Node> nodes_;
   std::vector<NodeId> free_list_;
   std::size_t live_ = 0;
+  std::size_t slots_compacted_ = 0;
 };
 
 }  // namespace greenps

@@ -554,6 +554,11 @@ std::optional<BrokerInfo> Simulation::broker_info_if_reachable(BrokerId id) cons
   return broker_info(id);
 }
 
+std::optional<std::uint64_t> Simulation::broker_epoch_if_reachable(BrokerId id) const {
+  if (!broker_alive(id)) return std::nullopt;
+  return broker(id).cbc().epoch();
+}
+
 std::set<std::pair<AdvId, MessageSeq>> Simulation::pending_retransmits() const {
   std::set<std::pair<AdvId, MessageSeq>> out;
   for (const auto& sh : shards_) {

@@ -118,6 +118,9 @@ class Simulation {
   // BIA if the broker answers; nullopt while it is crashed (Phase 1's
   // per-broker timeout expires against a dead CBC).
   [[nodiscard]] std::optional<BrokerInfo> broker_info_if_reachable(BrokerId id) const;
+  // Just the CBC's structural profile epoch — the cheap probe an
+  // epoch-based incremental gather sends before asking for a full BIA.
+  [[nodiscard]] std::optional<std::uint64_t> broker_epoch_if_reachable(BrokerId id) const;
 
   // Retransmit-buffer cap in force for one broker: the explicit
   // FaultOptions cap when nonzero, else the profile-derived cap (see

@@ -1,0 +1,90 @@
+#include "workload/churn.hpp"
+
+#include <cassert>
+#include <random>
+#include <utility>
+
+namespace greenps {
+
+namespace {
+
+// Poisson draw with the engine Rng already carries; mean 0 short-circuits so
+// a zero-turnover generator emits empty batches deterministically.
+std::size_t poisson(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  std::poisson_distribution<std::size_t> dist(mean);
+  return dist(rng.engine());
+}
+
+}  // namespace
+
+ChurnGenerator::ChurnGenerator(ChurnOptions options,
+                               std::vector<SubscriptionProfile> reference,
+                               std::vector<SubId> initial_live,
+                               std::uint64_t first_new_id, Rng rng)
+    : opts_(options),
+      reference_(std::move(reference)),
+      live_(std::move(initial_live)),
+      target_(live_.size()),
+      next_id_(first_new_id),
+      rng_(std::move(rng)) {
+  assert(!reference_.empty());
+}
+
+ChurnBatch ChurnGenerator::step() {
+  ChurnBatch batch;
+  const double expected = opts_.turnover_per_s * opts_.step_s;
+
+  // Departures: Poisson over the current live population.
+  std::size_t departures =
+      std::min(poisson(rng_, expected * static_cast<double>(live_.size())), live_.size());
+  batch.removed.reserve(departures);
+  while (departures-- > 0) {
+    const std::size_t pick = rng_.index(live_.size());
+    batch.removed.push_back(live_[pick]);
+    live_[pick] = live_.back();
+    live_.pop_back();
+  }
+
+  // Arrivals: Poisson toward the stationary target, so the population
+  // hovers around its starting size at any turnover level.
+  const std::size_t arrivals =
+      poisson(rng_, expected * static_cast<double>(target_));
+  batch.added.reserve(arrivals);
+  for (std::size_t i = 0; i < arrivals; ++i) {
+    const SubId id{next_id_++};
+    batch.added.push_back({id, synthesize_profile()});
+    live_.push_back(id);
+  }
+  return batch;
+}
+
+SubscriptionProfile ChurnGenerator::synthesize_profile() {
+  const SubscriptionProfile& ref = reference_[rng_.index(reference_.size())];
+  SubscriptionProfile out(ref.window_bits());
+  std::size_t kept = 0;
+  for (const auto& [adv, v] : ref.vectors()) {
+    if (!v.anchored()) continue;
+    for (MessageSeq s = v.first_id(); s < v.end_id(); ++s) {
+      if (v.test_seq(s) && rng_.chance(opts_.keep_probability)) {
+        out.record(adv, s);
+        ++kept;
+      }
+    }
+  }
+  if (kept > 0) return out;
+  // Thinning dropped everything — keep the reference's first set bit so the
+  // arrival still induces load (empty profiles never happen in Phase 1).
+  for (const auto& [adv, v] : ref.vectors()) {
+    if (!v.anchored()) continue;
+    for (MessageSeq s = v.first_id(); s < v.end_id(); ++s) {
+      if (v.test_seq(s)) {
+        out.record(adv, s);
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace greenps

@@ -1,0 +1,77 @@
+// Subscription churn model for incremental-reconfiguration experiments.
+//
+// Real populations are never static: subscribers arrive and leave
+// continuously. This generator drives that process at a configurable
+// turnover rate — per simulated step, departures are drawn Poisson from the
+// live population and arrivals Poisson toward the initial population size
+// (so the population is stationary around its starting point at every
+// turnover level). Arriving subscriptions get profiles synthesized by
+// thinning a randomly chosen reference profile bit-by-bit, which preserves
+// the reference population's containment structure (subsets, intersections
+// and — at keep_probability 1 — exact GIF duplicates) without replaying any
+// traffic.
+//
+// Fully deterministic from the seed: the same options, references and step
+// count always produce the same batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "profile/subscription_profile.hpp"
+
+namespace greenps {
+
+struct ChurnOptions {
+  // Fraction of the population replaced per simulated second (0.01 = 1%/s,
+  // the ISSUE's target operating point).
+  double turnover_per_s = 0.01;
+  // Simulated seconds that elapse per step() call.
+  double step_s = 1.0;
+  // Per-bit survival probability when thinning a reference profile into an
+  // arrival's profile. 1.0 clones references exactly (pure GIF churn);
+  // lower values grow subset/intersect diversity.
+  double keep_probability = 0.7;
+};
+
+// One step's worth of churn.
+struct ChurnBatch {
+  struct Arrival {
+    SubId id;
+    SubscriptionProfile profile;
+  };
+  std::vector<Arrival> added;
+  std::vector<SubId> removed;
+
+  [[nodiscard]] bool empty() const { return added.empty() && removed.empty(); }
+};
+
+class ChurnGenerator {
+ public:
+  // `reference` seeds arrival-profile synthesis (must be non-empty);
+  // `initial_live` is the starting population (its size is the stationary
+  // target); new arrivals get ids from `first_new_id` upward — pass a value
+  // above every live id so arrivals never collide.
+  ChurnGenerator(ChurnOptions options, std::vector<SubscriptionProfile> reference,
+                 std::vector<SubId> initial_live, std::uint64_t first_new_id, Rng rng);
+
+  // Draw one step of churn and update the live set.
+  [[nodiscard]] ChurnBatch step();
+
+  [[nodiscard]] const std::vector<SubId>& live() const { return live_; }
+  [[nodiscard]] std::size_t target_population() const { return target_; }
+
+ private:
+  [[nodiscard]] SubscriptionProfile synthesize_profile();
+
+  ChurnOptions opts_;
+  std::vector<SubscriptionProfile> reference_;
+  std::vector<SubId> live_;
+  std::size_t target_;
+  std::uint64_t next_id_;
+  Rng rng_;
+};
+
+}  // namespace greenps
