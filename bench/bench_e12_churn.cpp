@@ -17,7 +17,9 @@
 // profile epochs) and plan through the incremental session.
 //
 // Knobs: GREENPS_TINY=1 / GREENPS_FULL=1 scale, GREENPS_BENCH_BUDGET_S,
-// GREENPS_CHURN_TURNOVER (fraction/s, default 0.01), GREENPS_CHURN_STEPS.
+// GREENPS_CHURN_TURNOVER (fraction/s, default 0.01), GREENPS_CHURN_STEPS,
+// GREENPS_CRAM_REBASELINE (rebaseline every N deltas; the bench also
+// requests one whenever measured drift reaches 80% of the oracle epsilon).
 // Results land in BENCH_churn.json.
 #include <chrono>
 #include <cstdio>
@@ -133,6 +135,22 @@ int main() {
       oracle_failed = true;
     }
 
+    // Drift watchdog: when the incremental objective creeps toward the
+    // oracle's epsilon bound (80% of the allowance), fold a from-scratch
+    // convergence into the session at the next apply() rather than waiting
+    // for a violation. GREENPS_CRAM_REBASELINE additionally forces a
+    // periodic rebaseline every N deltas.
+    const double drift_gap =
+        oracle.scratch_objective > 0
+            ? (oracle.incremental_objective - oracle.scratch_objective) /
+                  oracle.scratch_objective
+            : 0.0;
+    if (drift_gap > 0.8 * DiffOracleOptions{}.objective_epsilon) {
+      std::printf("  [drift %.3f%% approaches epsilon; rebaseline requested]\n",
+                  drift_gap * 100.0);
+      session.request_rebaseline();
+    }
+
     const CramDeltaStats& d = session.last_delta();
     inc_wall += inc_s;
     scratch_wall += scr_s;
@@ -168,6 +186,7 @@ int main() {
                        .set_integer("units_dissolved", d.units_dissolved)
                        .set_integer("survivors_reinserted", d.survivors_reinserted)
                        .set_integer("blacklist_cleared", d.blacklist_cleared)
+                       .set_bool("rebaselined", d.rebaselined)
                        .set_bool("inc_success", inc.allocation.success)
                        .set_bool("oracle_ok", oracle.ok)
                        .set_string("oracle_detail", oracle.detail)
@@ -235,7 +254,8 @@ int main() {
       .set_integer("incremental_alloc_runs", inc_alloc_runs)
       .set_integer("scratch_alloc_runs", scratch_alloc_runs)
       .set_number("wall_speedup", wall_speedup)
-      .set_number("comparison_speedup", comp_speedup);
+      .set_number("comparison_speedup", comp_speedup)
+      .set_integer("rebaselines", session.rebaselines());
   for (const std::string& row : rows) report.add_row(row);
   report.write("BENCH_churn.json", "rows");
 

@@ -1,12 +1,25 @@
 // E10 — Microbenchmarks of the core data structures (google-benchmark):
 // windowed bit vectors, closeness metrics, profile algebra, poset insertion
-// and the broker matching engine.
+// and the broker matching engine — plus an always-run concurrent-matching
+// throughput section (eq-only and range-only suites at 1/2/4/8 reader
+// threads against one published routing snapshot) that verifies exact
+// match-set equality against the single-thread oracle and emits
+// BENCH_match.json. GREENPS_TINY=1 shrinks the table and iteration counts
+// to smoke scale.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "alloc/cram_incremental.hpp"
 #include "alloc/gif.hpp"
+#include "bench_util.hpp"
+#include "broker/routing_tables.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "matching/matching_engine.hpp"
@@ -375,7 +388,175 @@ BENCHMARK(BM_ShardedEventLoopDrain)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// --- concurrent snapshot-match throughput (always run; BENCH_match.json) --
+//
+// Readers share one published SubscriptionRoutingTable snapshot and match
+// lock-free via match_published(); each reader owns its MatchScratch and
+// verifies every result — exact forward_to/deliver equality — against the
+// single-thread oracle computed up front. Throughput is aggregate match
+// operations per second across all readers. On a multi-core host the
+// eq/range suites are expected to scale near-linearly to the core count; a
+// single-core container reports ~flat numbers (the JSON records whatever
+// was measured).
+struct MatchSuite {
+  std::string name;
+  SubscriptionRoutingTable table;
+  std::vector<Publication> pubs;
+};
+
+// The routing table pins its address (EpochPtr + atomic members), so suites
+// are populated in place rather than returned.
+void build_eq_suite(MatchSuite& s, std::size_t n) {
+  s.name = "eq_only";
+  for (std::size_t i = 0; i < n; ++i) {
+    Filter f;
+    f.add(Predicate{"class", Op::kEq, Value(std::string("STOCK"))});
+    f.add(Predicate{"symbol", Op::kEq, Value("SYM" + std::to_string(i % 40))});
+    s.table.insert(SubId{i}, f, Hop::to_client(ClientId{i}));
+  }
+  s.table.publish();
+  for (int k = 0; k < 8; ++k) {
+    Publication pub;
+    pub.set_attr("class", Value(std::string("STOCK")));
+    pub.set_attr("symbol", Value("SYM" + std::to_string(k * 5)));
+    pub.set_attr("low", Value(18.0));
+    s.pubs.push_back(std::move(pub));
+  }
+}
+
+void build_range_suite(MatchSuite& s, std::size_t n) {
+  s.name = "range_only";
+  Rng rng(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    Filter f;
+    const double lo = rng.uniform_real(0.0, 90.0);
+    f.add(Predicate{"low", Op::kGt, Value(lo)});
+    f.add(Predicate{"low", Op::kLt, Value(lo + rng.uniform_real(0.5, 10.0))});
+    s.table.insert(SubId{i}, f, Hop::to_client(ClientId{i}));
+  }
+  s.table.publish();
+  for (int k = 0; k < 8; ++k) {
+    Publication pub;
+    pub.set_attr("class", Value(std::string("STOCK")));
+    pub.set_attr("low", Value(5.0 + 11.0 * k));
+    s.pubs.push_back(std::move(pub));
+  }
+}
+
+struct MatchRunStats {
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t deliveries = 0;
+  bool verified = true;
+};
+
+MatchRunStats run_match_suite(const MatchSuite& s, std::size_t threads,
+                              std::size_t iters_per_thread) {
+  using MatchResult = SubscriptionRoutingTable::MatchResult;
+  // Single-thread oracle per publication, computed before the clock starts.
+  std::vector<MatchResult> oracle(s.pubs.size());
+  {
+    MatchScratch scratch;
+    for (std::size_t p = 0; p < s.pubs.size(); ++p) {
+      s.table.match_published(s.pubs[p], nullptr, oracle[p], scratch);
+    }
+  }
+
+  std::atomic<std::uint64_t> deliveries{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      MatchScratch scratch;
+      MatchResult out;
+      std::uint64_t local_deliveries = 0;
+      std::uint64_t local_mismatches = 0;
+      for (std::size_t i = 0; i < iters_per_thread; ++i) {
+        const std::size_t p = (i + t) % s.pubs.size();
+        s.table.match_published(s.pubs[p], nullptr, out, scratch);
+        local_deliveries += out.deliver.size();
+        if (out.forward_to != oracle[p].forward_to || out.deliver != oracle[p].deliver) {
+          ++local_mismatches;
+        }
+      }
+      deliveries.fetch_add(local_deliveries, std::memory_order_relaxed);
+      mismatches.fetch_add(local_mismatches, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  MatchRunStats r;
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  r.ops = static_cast<std::uint64_t>(threads) * iters_per_thread;
+  r.deliveries = deliveries.load();
+  r.verified = mismatches.load() == 0;
+  return r;
+}
+
+int run_match_report() {
+  const bool tiny = bench::tiny_scale();
+  const std::size_t filters = tiny ? 2000 : 8000;
+  const std::size_t iters = tiny ? 2000 : 20000;
+  std::printf("\nconcurrent snapshot matching (%zu filters, %zu matches/thread)%s\n",
+              filters, iters, tiny ? " [tiny/smoke scale]" : "");
+
+  bench::RunReport report("micro_match");
+  report.header()
+      .set_integer("filters", filters)
+      .set_integer("iters_per_thread", iters)
+      .set_integer("hardware_threads", std::thread::hardware_concurrency())
+      .set_bool("tiny", tiny);
+
+  const std::vector<int> widths = {11, 8, 9, 12, 13, 11, 7};
+  bench::print_row({"suite", "threads", "wall(s)", "ops/s", "deliveries", "speedup", "ok"},
+                   widths);
+  bool all_verified = true;
+  MatchSuite eq_suite, range_suite;
+  build_eq_suite(eq_suite, filters);
+  build_range_suite(range_suite, filters);
+  for (const MatchSuite* sp : {&eq_suite, &range_suite}) {
+    const MatchSuite& suite = *sp;
+    double base_ops_per_s = 0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const MatchRunStats r = run_match_suite(suite, threads, iters);
+      const double ops_per_s = r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0;
+      if (threads == 1) base_ops_per_s = ops_per_s;
+      const double speedup = base_ops_per_s > 0 ? ops_per_s / base_ops_per_s : 0;
+      all_verified = all_verified && r.verified;
+      bench::print_row({suite.name, std::to_string(threads), bench::fmt(r.seconds, 3),
+                        bench::fmt(ops_per_s, 0), std::to_string(r.deliveries),
+                        bench::fmt(speedup, 2) + "x", r.verified ? "ok" : "FAIL"},
+                       widths);
+      report.add_row(bench::JsonObject()
+                         .set_string("suite", suite.name)
+                         .set_integer("threads", threads)
+                         .set_integer("matches", r.ops)
+                         .set_integer("deliveries", r.deliveries)
+                         .set_number("seconds", r.seconds)
+                         .set_number("matches_per_s", ops_per_s)
+                         .set_number("speedup_vs_1", speedup)
+                         .set_bool("verified", r.verified));
+    }
+  }
+  report.write("BENCH_match.json", "rows");
+  if (!all_verified) {
+    std::fprintf(stderr, "[micro_match] concurrent match diverged from the oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace greenps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The concurrent-matching report always runs (even with a benchmark
+  // filter matching nothing), so BENCH_match.json is produced by every
+  // invocation, including the ctest smoke entry.
+  return greenps::run_match_report();
+}

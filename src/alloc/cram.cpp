@@ -37,6 +37,10 @@ CramOptions resolve_cram_options(const CramOptions& options) {
       env != nullptr && *env != '\0') {
     opts.threads = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
   }
+  if (const char* env = std::getenv("GREENPS_CRAM_REBASELINE");
+      env != nullptr && *env != '\0') {
+    opts.rebaseline_interval = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
   return opts;
 }
 

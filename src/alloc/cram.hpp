@@ -39,6 +39,13 @@ struct CramOptions {
   // packs from scratch. Any value yields bit-identical allocations; only
   // the amount of packing work skipped changes.
   std::size_t probe_checkpoint_stride = 0;
+  // Drift re-baselining for IncrementalCram sessions: after this many
+  // apply() deltas, the session folds a from-scratch convergence over the
+  // live population into itself, resetting accumulated clustering drift
+  // (incremental reconvergence never revisits untouched neighborhoods, so
+  // drift vs from-scratch grows with delta count). 0 = never rebaseline.
+  // GREENPS_CRAM_REBASELINE, when set, overrides this.
+  std::size_t rebaseline_interval = 0;
 };
 
 struct CramStats {

@@ -49,6 +49,13 @@ CramResult IncrementalCram::apply(std::vector<SubUnit> added,
     originals_.emplace(u.members.front(), u);
   }
 
+  ++deltas_since_baseline_;
+  if (rebaseline_requested_ ||
+      (opts_.rebaseline_interval > 0 &&
+       deltas_since_baseline_ >= opts_.rebaseline_interval)) {
+    return rebaseline(added.size(), removed);
+  }
+
   const auto out = run_->apply_delta(std::move(added), removed, originals_);
   for (const SubId id : removed) originals_.erase(id);
 
@@ -74,6 +81,35 @@ CramResult IncrementalCram::apply(std::vector<SubUnit> added,
   reg.gauge("cram.incremental.gif_count").set(static_cast<double>(last_delta_.gif_count));
 
   return run_->reconverge();
+}
+
+CramResult IncrementalCram::rebaseline(std::size_t added_units,
+                                       const std::vector<SubId>& removed) {
+  // Fold a from-scratch convergence over the live population into the
+  // session: the delta's adds are already in originals_, the removes leave
+  // now, and the engine restarts on exactly what cram_allocate would see.
+  // Accumulated clustering drift (neighborhoods incremental reconvergence
+  // never revisited) resets to zero.
+  last_delta_.added_units = added_units;
+  for (const SubId id : removed) {
+    last_delta_.removed_found += originals_.erase(id);
+  }
+  run_ = std::make_unique<cram_detail::CramRun>(pool_, current_original_units(),
+                                                table_, opts_);
+  CramResult result = run_->run();
+  last_delta_.gif_count = run_->gif_count();
+  last_delta_.rebaselined = true;
+  ++rebaselines_;
+  deltas_since_baseline_ = 0;
+  rebaseline_requested_ = false;
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("cram.incremental.deltas").add(1);
+  reg.counter("cram.incremental.rebaselines").add(1);
+  reg.counter("cram.incremental.added_units").add(last_delta_.added_units);
+  reg.counter("cram.incremental.removed_found").add(last_delta_.removed_found);
+  reg.gauge("cram.incremental.gif_count").set(static_cast<double>(last_delta_.gif_count));
+  return result;
 }
 
 std::vector<SubUnit> IncrementalCram::current_original_units() const {

@@ -45,6 +45,9 @@ struct CramDeltaStats {
   std::size_t blacklist_cleared = 0;    // dirty/dead pairs eligible again
   std::size_t dirty_gifs = 0;           // dirty-set size entering reconvergence
   std::size_t gif_count = 0;            // live GIFs after the delta
+  // This apply() folded a from-scratch convergence into the session (drift
+  // re-baselining) instead of an incremental reconvergence.
+  bool rebaselined = false;
 };
 
 class IncrementalCram {
@@ -72,6 +75,15 @@ class IncrementalCram {
   // post-delta population.
   CramResult apply(std::vector<SubUnit> added, const std::vector<SubId>& removed);
 
+  // Force the next apply() to re-baseline (from-scratch convergence over
+  // the live population folded into the session), regardless of
+  // CramOptions::rebaseline_interval. Callers watching the differential
+  // oracle use this when the union-rate gap approaches the epsilon bound.
+  void request_rebaseline() { rebaseline_requested_ = true; }
+  // Re-baselines performed so far, and deltas applied since the last one.
+  [[nodiscard]] std::size_t rebaselines() const { return rebaselines_; }
+  [[nodiscard]] std::size_t deltas_since_baseline() const { return deltas_since_baseline_; }
+
   [[nodiscard]] const CramDeltaStats& last_delta() const { return last_delta_; }
   [[nodiscard]] std::size_t live_subscriptions() const { return originals_.size(); }
 
@@ -89,6 +101,8 @@ class IncrementalCram {
   [[nodiscard]] const ProfilePoset& poset() const;
 
  private:
+  CramResult rebaseline(std::size_t added_units, const std::vector<SubId>& removed);
+
   PublisherTable table_;
   std::vector<AllocBroker> pool_;
   CramOptions opts_;
@@ -98,6 +112,9 @@ class IncrementalCram {
   std::unique_ptr<cram_detail::CramRun> run_;
   CramDeltaStats last_delta_;
   bool initialized_ = false;
+  bool rebaseline_requested_ = false;
+  std::size_t rebaselines_ = 0;
+  std::size_t deltas_since_baseline_ = 0;
 };
 
 }  // namespace greenps

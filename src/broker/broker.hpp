@@ -62,6 +62,23 @@ class Broker {
     srt_.match_into(pub, from, out);
   }
 
+  // Hot-path variant with caller-owned scratch and optional parallel
+  // candidate evaluation (bit-identical result either way).
+  void route_into(const Publication& pub, const BrokerId* from,
+                  SubscriptionRoutingTable::MatchResult& out, MatchScratch& scratch,
+                  CandidateEvaluator* eval = nullptr) const {
+    srt_.match_into(pub, from, out, scratch, eval);
+  }
+
+  // Publish immutable snapshots of both routing tables (epoch handle), so
+  // concurrent readers — parallel matching helpers, other threads via
+  // match_published — can route lock-free. Call after (re)installing
+  // routing state; cheap when nothing changed.
+  void publish_routing() {
+    srt_.publish();
+    prt_.publish();
+  }
+
   void reset_queues() {
     matcher_.reset();
     out_link_.reset();

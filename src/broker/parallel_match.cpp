@@ -1,0 +1,28 @@
+#include "broker/parallel_match.hpp"
+
+#include <algorithm>
+
+namespace greenps {
+
+void PoolCandidateEvaluator::evaluate(std::size_t n, CandidatePred pred,
+                                      std::vector<std::uint32_t>& out) {
+  const std::size_t nchunks = (n + chunk_ - 1) / chunk_;
+  if (chunk_hits_.size() < nchunks) chunk_hits_.resize(nchunks);
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    std::vector<std::uint32_t>& hits = chunk_hits_[c];
+    hits.clear();
+    const std::size_t lo = c * chunk_;
+    const std::size_t hi = std::min(lo + chunk_, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) hits.push_back(static_cast<std::uint32_t>(i));
+    }
+  });
+  // Chunk-order merge: chunk c holds ascending indices from [c*chunk,
+  // (c+1)*chunk), so concatenation is globally ascending — the evaluator
+  // contract — no matter which thread ran which chunk.
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    out.insert(out.end(), chunk_hits_[c].begin(), chunk_hits_[c].end());
+  }
+}
+
+}  // namespace greenps

@@ -1,0 +1,46 @@
+// Thread-pool backed candidate evaluator for intra-broker parallel
+// matching.
+//
+// Splits a candidate batch into fixed-size chunks, claims chunks
+// dynamically across the pool, and merges per-chunk hit lists in chunk
+// order — so the emitted index sequence (and therefore the MatchResult) is
+// bit-identical to the serial loop for any thread count. The predicate runs
+// concurrently on several threads; it must only read immutable snapshot
+// state and bump thread_local counters, which is exactly what the published
+// routing-table snapshots guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "matching/matching_engine.hpp"
+
+namespace greenps {
+
+class PoolCandidateEvaluator : public CandidateEvaluator {
+ public:
+  static constexpr std::size_t kDefaultChunk = 128;
+
+  // `threshold`: minimum candidate count before fanning out (below it the
+  // caller's serial loop is faster than the dispatch). `chunk`: candidates
+  // per claimed chunk; large enough to amortize the claim, small enough to
+  // balance skewed filters.
+  explicit PoolCandidateEvaluator(ThreadPool& pool, std::size_t threshold,
+                                  std::size_t chunk = kDefaultChunk)
+      : pool_(pool), threshold_(threshold), chunk_(chunk == 0 ? kDefaultChunk : chunk) {}
+
+  [[nodiscard]] std::size_t threshold() const override { return threshold_; }
+
+  void evaluate(std::size_t n, CandidatePred pred,
+                std::vector<std::uint32_t>& out) override;
+
+ private:
+  ThreadPool& pool_;
+  std::size_t threshold_;
+  std::size_t chunk_;
+  std::vector<std::vector<std::uint32_t>> chunk_hits_;  // reused across calls
+};
+
+}  // namespace greenps

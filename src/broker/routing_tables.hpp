@@ -2,13 +2,24 @@
 // subscription routing table (SRT) steering publications toward subscribers
 // and the publication/advertisement routing table (PRT) steering
 // subscriptions toward matching advertisements.
+//
+// Concurrency model: mutations (insert/remove/register_advertisement) and
+// publish() belong to one owning thread. The match read paths are const and
+// keep no table-side scratch — callers own a MatchScratch — so once a
+// snapshot is published, any number of threads can match concurrently and
+// lock-free via match_published() while the owner keeps mutating and
+// re-publishing: readers pin an epoch, load the snapshot pointer with one
+// atomic load, and retired snapshots are reclaimed when the last reader
+// leaves (src/common/epoch.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "common/ids.hpp"
 #include "language/advertisement.hpp"
 #include "matching/matching_engine.hpp"
@@ -54,6 +65,8 @@ class SubscriptionRoutingTable {
     }
   };
 
+  SubscriptionRoutingTable() = default;
+
   // Install or replace the routing entry for `sub`.
   void insert(SubId sub, const Filter& filter, Hop next_hop);
   void remove(SubId sub);
@@ -69,10 +82,37 @@ class SubscriptionRoutingTable {
   // changes the match set.
   void register_advertisement(AdvId id, const Filter& filter);
 
+  // Build an immutable snapshot of the current table and publish it with a
+  // single atomic pointer swap. Owner-thread only; cheap when nothing
+  // changed since the last publish.
+  void publish();
+  // Version of the latest published snapshot (0 before the first publish).
+  [[nodiscard]] std::uint64_t published_version() const;
+
   // Match a publication, optionally excluding the broker link it arrived on
   // (never forward a publication back where it came from). `out` is cleared
-  // first; reusing one MatchResult across calls avoids reallocation.
-  void match_into(const Publication& pub, const BrokerId* exclude, MatchResult& out) const;
+  // first. Owner-thread path: routes through the published snapshot when it
+  // is current, else through the live index. `scratch` is caller-owned;
+  // `eval` (optional) fans large candidate batches across threads with a
+  // bit-identical result.
+  void match_into(const Publication& pub, const BrokerId* exclude, MatchResult& out,
+                  MatchScratch& scratch, CandidateEvaluator* eval = nullptr) const;
+
+  // Convenience overload with call-local scratch (allocates; tests and cold
+  // paths only).
+  void match_into(const Publication& pub, const BrokerId* exclude, MatchResult& out) const {
+    MatchScratch scratch;
+    match_into(pub, exclude, out, scratch);
+  }
+
+  // Lock-free concurrent read path: match against the latest published
+  // snapshot, never touching live state. Safe from any thread at any time,
+  // including while the owner mutates and re-publishes. Returns the
+  // snapshot version matched against, or 0 (empty result) if nothing has
+  // been published yet.
+  std::uint64_t match_published(const Publication& pub, const BrokerId* exclude,
+                                MatchResult& out, MatchScratch& scratch,
+                                CandidateEvaluator* eval = nullptr) const;
 
   [[nodiscard]] MatchResult match(const Publication& pub,
                                   const BrokerId* exclude = nullptr) const {
@@ -85,8 +125,8 @@ class SubscriptionRoutingTable {
   [[nodiscard]] bool contains(SubId sub) const { return hops_.contains(sub); }
 
   // Test hook: disable advertisement-scoped candidate pruning process-wide
-  // (the determinism test asserts identical results either way). Not
-  // thread-safe against concurrent matching.
+  // (the determinism test asserts identical results either way). The flag
+  // is atomic; flip it only while no match is in flight.
   static void set_adv_pruning_enabled(bool enabled);
   [[nodiscard]] static bool adv_pruning_enabled();
 
@@ -112,16 +152,41 @@ class SubscriptionRoutingTable {
     std::vector<Cand> candidates;  // sorted by handle
   };
 
+  // Immutable published table: the engine snapshot (dense subs in ascending
+  // handle order) plus a hop per dense sub and the advertisement scopes
+  // with candidates as dense indices.
+  struct Snapshot {
+    struct SnapScope {
+      CompiledFilter compiled;
+      std::vector<std::uint32_t> candidates;  // dense, ascending handle
+    };
+
+    MatchingEngine::Snapshot engine;
+    std::vector<Hop> hops;  // parallel to engine.subs
+    std::unordered_map<AdvId, SnapScope> advs;
+    std::uint64_t version = 0;
+  };
+
   [[nodiscard]] static std::vector<EqPred> eq_preds(const Filter& f);
   [[nodiscard]] static bool eq_disjoint(const std::vector<EqPred>& a,
                                         const std::vector<EqPred>& b);
 
+  [[nodiscard]] Snapshot* build_snapshot() const;
+  void match_snapshot(const Snapshot& snap, const Publication& pub,
+                      const BrokerId* exclude, MatchResult& out, MatchScratch& scratch,
+                      CandidateEvaluator* eval) const;
+  void match_live(const Publication& pub, const BrokerId* exclude, MatchResult& out,
+                  MatchScratch& scratch, CandidateEvaluator* eval) const;
+  static void finalize(MatchResult& out);
+
   MatchingEngine engine_;
   std::unordered_map<SubId, Hop> hops_;
   std::unordered_map<AdvId, AdvScope> advs_;
-  // Scratch for match_into; mutable because matching is logically const.
-  // Brokers are driven by the single simulation thread.
-  mutable std::vector<MatchingEngine::Handle> scratch_;
+  EpochPtr<Snapshot> snap_;
+  std::uint64_t next_version_ = 1;
+  // Set by mutators, cleared by publish(): the owner-thread match path uses
+  // the snapshot only while it reflects the live table.
+  std::atomic<bool> dirty_{true};
 };
 
 class AdvertisementRoutingTable {
@@ -136,10 +201,26 @@ class AdvertisementRoutingTable {
 
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
   // Directions (deduplicated) toward every advertisement intersecting `f`.
+  // Owner-thread path (reads the live table).
   [[nodiscard]] std::vector<Hop> directions_for(const Filter& f) const;
 
+  // Publish an immutable copy of the table; see SubscriptionRoutingTable.
+  void publish();
+  [[nodiscard]] std::uint64_t published_version() const;
+  // Lock-free read of the latest published snapshot; appends to `out`
+  // (cleared first). Returns the snapshot version, or 0 if none.
+  std::uint64_t directions_for_published(const Filter& f, std::vector<Hop>& out) const;
+
  private:
+  struct Snapshot {
+    std::vector<Entry> entries;
+    std::uint64_t version = 0;
+  };
+
   std::vector<Entry> entries_;
+  EpochPtr<Snapshot> snap_;
+  std::uint64_t next_version_ = 1;
+  std::atomic<bool> dirty_{true};
 };
 
 }  // namespace greenps

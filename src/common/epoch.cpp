@@ -1,0 +1,112 @@
+#include "common/epoch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace greenps {
+
+EpochDomain& EpochDomain::global() {
+  // Leaked on purpose: reader threads may outlive any static destruction
+  // order we could arrange, and retired snapshots referenced from
+  // thread-local state must stay reachable until process teardown.
+  static EpochDomain* const domain = new EpochDomain();
+  return *domain;
+}
+
+EpochDomain::EpochDomain() = default;
+
+EpochDomain::~EpochDomain() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  for (Retired& r : retired_) r.deleter();
+  retired_.clear();
+}
+
+EpochDomain::ReaderSlot* EpochDomain::claim_slot() {
+  for (ReaderSlot& s : slots_) {
+    bool expected = false;
+    if (s.claimed.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      return &s;
+    }
+  }
+  std::fprintf(stderr,
+               "greenps: EpochDomain reader-slot exhaustion (>%zu concurrent "
+               "reader threads)\n",
+               kMaxReaders);
+  std::abort();
+}
+
+EpochDomain::ThreadState::~ThreadState() {
+  if (slot != nullptr) {
+    slot->epoch.store(0, std::memory_order_seq_cst);
+    slot->claimed.store(false, std::memory_order_release);
+  }
+}
+
+EpochDomain::ThreadState& EpochDomain::thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void EpochDomain::pin() {
+  ThreadState& st = thread_state();
+  if (st.depth++ > 0) return;  // nested guard: outer pin already protects us
+  if (st.slot == nullptr) st.slot = claim_slot();
+  // seq_cst: the slot store must be globally visible before any snapshot
+  // pointer load the guarded section performs, or a concurrent retire could
+  // scan past this thread and free what it is about to read.
+  st.slot->epoch.store(epoch_.load(std::memory_order_relaxed),
+                       std::memory_order_seq_cst);
+}
+
+void EpochDomain::unpin() {
+  ThreadState& st = thread_state();
+  if (--st.depth > 0) return;
+  st.slot->epoch.store(0, std::memory_order_seq_cst);
+}
+
+void EpochDomain::retire_erased(SmallFunction<void()> deleter) {
+  // fetch_add returns the pre-increment epoch: every reader pinned when the
+  // old snapshot was still reachable observed an epoch <= stamp, so the
+  // grace period ends once no slot holds a value <= stamp.
+  const std::uint64_t stamp = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back(Retired{std::move(deleter), stamp});
+}
+
+void EpochDomain::try_reclaim() {
+  std::vector<Retired> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (retired_.empty()) return;
+    std::uint64_t min_pinned = ~0ULL;
+    for (const ReaderSlot& s : slots_) {
+      const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min_pinned) min_pinned = e;
+    }
+    std::size_t kept = 0;
+    for (Retired& r : retired_) {
+      if (r.stamp < min_pinned) {
+        to_free.push_back(std::move(r));
+      } else {
+        retired_[kept++] = std::move(r);
+      }
+    }
+    retired_.resize(kept);
+    reclaimed_.fetch_add(to_free.size(), std::memory_order_relaxed);
+  }
+  // Deleters run outside the lock so a destructor that itself retires (a
+  // snapshot owning another EpochPtr) cannot deadlock.
+  for (Retired& r : to_free) r.deleter();
+}
+
+std::size_t EpochDomain::retired_pending() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+std::uint64_t EpochDomain::reclaimed_total() const {
+  return reclaimed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace greenps

@@ -1,0 +1,147 @@
+// Epoch-based reclamation for read-mostly published snapshots.
+//
+// The broker's matching state (routing-table snapshots, the interner's
+// lookup table) is read constantly and replaced rarely. Writers build a new
+// immutable snapshot off the read path and publish it with one atomic
+// pointer swap; readers pin the global epoch for the duration of an access
+// and never take a lock. A replaced snapshot is *retired*, not freed: it is
+// stamped with the epoch at retirement and reclaimed only once every reader
+// pinned at or before that stamp has left — the RCU grace period, tracked
+// with per-thread epoch slots instead of per-object reference counts so the
+// read path costs two uncontended atomic stores, not a shared cacheline.
+//
+// Memory ordering: pin/unpin and the published-pointer accesses are seq_cst
+// so a reader's slot store and its snapshot-pointer load cannot reorder
+// (the classic epoch-reclamation StoreLoad hazard) and so reclamation has a
+// synchronizes-with edge from every reader's unpin — TSan sees the
+// happens-before chain from last read to free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/small_function.hpp"
+
+namespace greenps {
+
+class EpochDomain {
+ public:
+  // The process-wide domain shared by every published table. One domain
+  // keeps thread registration (one slot per reader thread) single.
+  [[nodiscard]] static EpochDomain& global();
+
+  // Register `ptr` for deferred deletion: freed by a later try_reclaim()
+  // once no reader pinned at or before the current epoch remains. The
+  // deleter runs exactly once (possibly from the domain's destructor at
+  // process exit). Write-side only; serialized internally.
+  template <typename T>
+  void retire(const T* ptr) {
+    if (ptr == nullptr) return;
+    retire_erased(SmallFunction<void()>([ptr] { delete ptr; }));
+  }
+
+  // Free every retired snapshot whose grace period has elapsed. Cheap when
+  // the retire list is empty; safe to call from any thread, including
+  // concurrently with readers.
+  void try_reclaim();
+
+  // --- introspection (tests, torture suites) ---
+  [[nodiscard]] std::size_t retired_pending() const;
+  [[nodiscard]] std::uint64_t reclaimed_total() const;
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+ private:
+  friend class EpochGuard;
+  EpochDomain();
+
+  struct alignas(64) ReaderSlot {
+    // 0 = idle; otherwise the epoch the thread pinned. claimed is the slot
+    // allocator's flag, toggled at thread registration/exit.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Retired {
+    SmallFunction<void()> deleter;
+    std::uint64_t stamp = 0;
+  };
+
+  // Per-thread pin bookkeeping: the claimed slot plus a nesting depth so an
+  // inner guard (the interner inside a routing-table match) reuses the
+  // outer pin instead of advancing it.
+  struct ThreadState {
+    ReaderSlot* slot = nullptr;
+    int depth = 0;
+    ~ThreadState();
+  };
+
+  [[nodiscard]] ReaderSlot* claim_slot();
+  [[nodiscard]] static ThreadState& thread_state();
+  void retire_erased(SmallFunction<void()> deleter);
+
+  void pin();
+  void unpin();
+
+  static constexpr std::size_t kMaxReaders = 512;
+
+  std::atomic<std::uint64_t> epoch_{1};  // 0 is reserved for "idle"
+  std::vector<ReaderSlot> slots_{kMaxReaders};
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+// RAII reader pin on the global domain. Hold one across every access to an
+// EpochPtr-published snapshot; nesting is free (inner guards are no-ops).
+class EpochGuard {
+ public:
+  EpochGuard() { EpochDomain::global().pin(); }
+  ~EpochGuard() { EpochDomain::global().unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+// An atomically published pointer to an immutable snapshot, with retired
+// predecessors reclaimed through the global EpochDomain. The owner thread
+// publishes; any thread holding an EpochGuard may load.
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  ~EpochPtr() {
+    // Retire rather than delete: a reader registered before destruction may
+    // still be inside the final snapshot. The domain frees it at the next
+    // reclaim (or at process exit).
+    EpochDomain::global().retire(cur_.exchange(nullptr, std::memory_order_seq_cst));
+  }
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  // Current snapshot, or nullptr before the first publish. The caller must
+  // hold an EpochGuard for the full lifetime of the returned pointer.
+  [[nodiscard]] const T* load() const { return cur_.load(std::memory_order_seq_cst); }
+
+  // Swap in `next` (ownership transfers to the EpochPtr) and retire the
+  // previous snapshot. Write-side; concurrent publishes must be externally
+  // serialized, concurrent readers are safe.
+  void publish(const T* next) {
+    const T* old = cur_.exchange(next, std::memory_order_seq_cst);
+    auto& domain = EpochDomain::global();
+    domain.retire(old);
+    domain.try_reclaim();
+  }
+
+ private:
+  std::atomic<const T*> cur_{nullptr};
+};
+
+}  // namespace greenps

@@ -1,7 +1,5 @@
 #include "language/interner.hpp"
 
-#include <mutex>
-
 namespace greenps {
 
 Interner& Interner::global() {
@@ -10,34 +8,49 @@ Interner& Interner::global() {
 }
 
 InternId Interner::intern(std::string_view s) {
+  if (const InternId id = find(s); id != kNoIntern) return id;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Re-check under the write lock: another thread may have published the
+  // string between our miss and acquiring the mutex.
   {
-    std::shared_lock lock(mu_);
-    const auto it = ids_.find(s);
-    if (it != ids_.end()) return it->second;
+    EpochGuard guard;
+    if (const Table* t = table_.load(); t != nullptr) {
+      const auto it = t->ids.find(s);
+      if (it != t->ids.end()) return it->second;
+    }
   }
-  std::unique_lock lock(mu_);
-  const auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;  // raced with another writer
-  const auto id = static_cast<InternId>(spellings_.size());
-  spellings_.emplace_back(s);
-  ids_.emplace(spellings_.back(), id);
+  const std::string& stored = storage_.emplace_back(s);
+  auto* next = new Table();
+  {
+    EpochGuard guard;
+    if (const Table* t = table_.load(); t != nullptr) *next = *t;
+  }
+  const auto id = static_cast<InternId>(next->spellings.size());
+  next->spellings.push_back(&stored);
+  next->ids.emplace(std::string_view(stored), id);
+  table_.publish(next);
   return id;
 }
 
 InternId Interner::find(std::string_view s) const {
-  std::shared_lock lock(mu_);
-  const auto it = ids_.find(s);
-  return it == ids_.end() ? kNoIntern : it->second;
+  EpochGuard guard;
+  const Table* t = table_.load();
+  if (t == nullptr) return kNoIntern;
+  const auto it = t->ids.find(s);
+  return it == t->ids.end() ? kNoIntern : it->second;
 }
 
 const std::string& Interner::spelling(InternId id) const {
-  std::shared_lock lock(mu_);
-  return spellings_.at(id);
+  EpochGuard guard;
+  // The returned reference outlives the guard safely: spellings live in the
+  // grow-only storage deque, not in the (reclaimable) table snapshot.
+  return *table_.load()->spellings.at(id);
 }
 
 std::size_t Interner::size() const {
-  std::shared_lock lock(mu_);
-  return spellings_.size();
+  EpochGuard guard;
+  const Table* t = table_.load();
+  return t == nullptr ? 0 : t->spellings.size();
 }
 
 ValueKey value_key(const Value& v) {

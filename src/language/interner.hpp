@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "common/epoch.hpp"
 #include "language/value.hpp"
 
 namespace greenps {
@@ -51,12 +53,22 @@ class Interner {
     }
   };
 
-  // Thread-safe: publications are built on the simulation thread while CRAM
-  // worker threads may evaluate filters; interning is shared-locked on the
-  // hot path (already-known strings) and unique-locked only on first sight.
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, InternId, Hash, std::equal_to<>> ids_;
-  std::deque<std::string> spellings_;  // deque: stable references on growth
+  // Thread-safe and lock-free on the hot path: the lookup table is an
+  // immutable snapshot published behind an epoch handle, so find/spelling
+  // and the already-known intern() case are a pinned load plus a hash
+  // probe — no lock, no shared cacheline. First-sight interning takes the
+  // write mutex, appends the spelling to grow-only stable storage, rebuilds
+  // the table copy and publishes it. The vocabulary is tiny and converges
+  // fast, so rebuild-on-miss is off the steady-state path entirely.
+  struct Table {
+    // Views point into storage_'s deque-stable strings.
+    std::unordered_map<std::string_view, InternId, Hash, std::equal_to<>> ids;
+    std::vector<const std::string*> spellings;
+  };
+
+  mutable std::mutex write_mu_;
+  std::deque<std::string> storage_;  // grow-only; stable references on growth
+  EpochPtr<Table> table_;
 };
 
 // Canonical constant-size key of a Value, suitable for hashing: equal values

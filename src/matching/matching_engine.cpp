@@ -1,6 +1,8 @@
 #include "matching/matching_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <limits>
 
 namespace greenps {
@@ -8,7 +10,7 @@ namespace greenps {
 namespace {
 
 thread_local std::size_t t_match_walks = 0;
-bool g_index_enabled = true;
+std::atomic<bool> g_index_enabled{true};
 
 // Conservative numeric interval [lo, hi] implied by a filter's inequality
 // predicates on one attribute. Bounds are inclusive even for strict
@@ -26,8 +28,12 @@ struct Bounds {
 std::size_t MatchingEngine::match_walks() { return t_match_walks; }
 void MatchingEngine::reset_match_walks() { t_match_walks = 0; }
 void MatchingEngine::add_match_walks(std::size_t n) { t_match_walks += n; }
-void MatchingEngine::set_index_enabled(bool enabled) { g_index_enabled = enabled; }
-bool MatchingEngine::index_enabled() { return g_index_enabled; }
+void MatchingEngine::set_index_enabled(bool enabled) {
+  g_index_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool MatchingEngine::index_enabled() {
+  return g_index_enabled.load(std::memory_order_relaxed);
+}
 
 const Predicate* MatchingEngine::pick_eq_predicate(const Filter& f) const {
   const Predicate* best = nullptr;
@@ -186,7 +192,7 @@ void MatchingEngine::match_indexed(const Publication& pub, std::vector<Handle>& 
 }
 
 void MatchingEngine::match_into(const Publication& pub, std::vector<Handle>& out) const {
-  if (!g_index_enabled) {
+  if (!index_enabled()) {
     for (const auto& [h, e] : entries_) {
       ++t_match_walks;
       if (e.compiled.matches(pub)) out.push_back(h);
@@ -211,6 +217,95 @@ std::vector<MatchingEngine::Handle> MatchingEngine::match(const Publication& pub
   std::vector<Handle> out;
   match_into(pub, out);
   return out;
+}
+
+MatchingEngine::Snapshot MatchingEngine::build_snapshot() const {
+  Snapshot s;
+  std::vector<Handle> order;
+  order.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) {
+    (void)e;
+    order.push_back(h);
+  }
+  std::sort(order.begin(), order.end());
+  std::unordered_map<Handle, std::uint32_t> dense;
+  dense.reserve(order.size());
+  s.subs.reserve(order.size());
+  for (const Handle h : order) {
+    dense.emplace(h, static_cast<std::uint32_t>(s.subs.size()));
+    s.subs.push_back(Snapshot::Sub{h, entries_.at(h).compiled});
+  }
+  // Copy the live index contents (rather than re-derive them from the
+  // filters): bucket membership and interval bounds were chosen by
+  // insertion-time heuristics, and preserving the exact per-bucket order
+  // keeps snapshot probe order — and thus walk counts — identical to the
+  // live engine's.
+  s.attr_indexes.reserve(attr_indexes_.size());
+  for (const auto& [attr, ai] : attr_indexes_) {
+    Snapshot::AttrIdx& out = s.attr_indexes[attr];
+    out.eq.reserve(ai.eq.size());
+    for (const auto& [key, refs] : ai.eq) {
+      std::vector<std::uint32_t>& bucket = out.eq[key];
+      bucket.reserve(refs.size());
+      for (const Ref& r : refs) bucket.push_back(dense.at(r.handle));
+    }
+    out.intervals.reserve(ai.intervals.size());
+    for (const Interval& iv : ai.intervals) {
+      out.intervals.push_back(Snapshot::Interval{iv.lo, iv.hi, dense.at(iv.handle)});
+    }
+  }
+  s.scan_list.reserve(scan_list_.size());
+  for (const Ref& r : scan_list_) s.scan_list.push_back(dense.at(r.handle));
+  return s;
+}
+
+void MatchingEngine::Snapshot::match_into(const Publication& pub, MatchScratch& scratch,
+                                          std::vector<std::uint32_t>& out,
+                                          CandidateEvaluator* eval) const {
+  if (!MatchingEngine::index_enabled()) {
+    auto pred = [&](std::size_t i) {
+      ++t_match_walks;
+      return subs[i].filter.matches(pub);
+    };
+    for_each_matching(eval, &scratch, subs.size(), pred,
+                      [&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+    return;
+  }
+  auto probe = [&](const std::vector<std::uint32_t>& cands) {
+    auto pred = [&](std::size_t i) {
+      ++t_match_walks;
+      return subs[cands[i]].filter.matches(pub);
+    };
+    for_each_matching(eval, &scratch, cands.size(), pred,
+                      [&](std::size_t i) { out.push_back(cands[i]); });
+  };
+  const auto& keys = pub.attr_keys();
+  for (const Publication::AttrKey& k : keys) {
+    const auto ait = attr_indexes.find(k.attr);
+    if (ait == attr_indexes.end()) continue;
+    const AttrIdx& index = ait->second;
+    if (!index.eq.empty()) {
+      const auto kit = index.eq.find(k.key);
+      if (kit != index.eq.end()) probe(kit->second);
+    }
+    if (!index.intervals.empty() && k.key.tag == ValueKey::Tag::kNumber) {
+      // Stab query: every interval with lo <= x is in the sorted prefix.
+      const double x = std::bit_cast<double>(k.key.bits);
+      const auto end = std::upper_bound(
+          index.intervals.begin(), index.intervals.end(), x,
+          [](double v, const Interval& iv) { return v < iv.lo; });
+      const std::size_t prefix = static_cast<std::size_t>(end - index.intervals.begin());
+      auto pred = [&](std::size_t i) {
+        const Interval& iv = index.intervals[i];
+        if (iv.hi < x) return false;
+        ++t_match_walks;
+        return subs[iv.sub].filter.matches(pub);
+      };
+      for_each_matching(eval, &scratch, prefix, pred,
+                        [&](std::size_t i) { out.push_back(index.intervals[i].sub); });
+    }
+  }
+  probe(scan_list);
 }
 
 }  // namespace greenps

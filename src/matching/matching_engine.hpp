@@ -16,9 +16,17 @@
 //
 // Every probed candidate is confirmed with a full Filter::matches, so the
 // indexes only need to be conservative (never miss a possible match).
+//
+// Concurrency model: the live engine is a single-writer structure — insert,
+// remove and the live match path belong to the owning thread. For
+// concurrent readers, build_snapshot() produces an immutable Snapshot
+// (dense candidate arrays, same probe order and walk counts as the live
+// index) that the routing table publishes behind an epoch handle; snapshot
+// matching touches no mutable engine state at all.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +36,71 @@
 #include "matching/compiled_filter.hpp"
 
 namespace greenps {
+
+// Caller-owned scratch for the allocation-free match paths. Each matching
+// thread (simulation shard, test thread) owns one and reuses it across
+// calls; nothing in the engine or routing table retains state between
+// matches, which is what makes the const read paths genuinely data-race
+// free.
+struct MatchScratch {
+  std::vector<std::uint64_t> handles;  // live-engine match output
+  std::vector<std::uint32_t> dense;    // snapshot-path candidate indices
+  std::vector<std::uint32_t> eval;     // parallel-evaluator output
+};
+
+// Type-erased, non-owning reference to a candidate predicate. Evaluators
+// may invoke it from several threads at once, so the underlying callable
+// must be safe for concurrent calls: immutable captures plus thread_local
+// counters only.
+class CandidatePred {
+ public:
+  // Constrained away from CandidatePred itself: without the exclusion,
+  // direct-initializing one CandidatePred from a non-const lvalue of
+  // another prefers this template over the copy constructor and wraps a
+  // *reference to the other wrapper* — dangling as soon as that wrapper
+  // (often a by-value parameter) goes out of scope.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<F>, CandidatePred>>>
+  explicit CandidatePred(F& f)
+      : ctx_(&f),
+        fn_([](void* c, std::size_t i) { return (*static_cast<F*>(c))(i); }) {}
+
+  bool operator()(std::size_t i) const { return fn_(ctx_, i); }
+
+ private:
+  void* ctx_;
+  bool (*fn_)(void*, std::size_t);
+};
+
+// Hook for fanning candidate evaluation across threads. evaluate() must
+// append, in ascending order, every index i in [0, n) with pred(i) true —
+// the ascending-order contract is what keeps parallel matching bit-identical
+// to the serial loop. Batches below threshold() stay on the calling thread.
+class CandidateEvaluator {
+ public:
+  virtual ~CandidateEvaluator() = default;
+  [[nodiscard]] virtual std::size_t threshold() const = 0;
+  virtual void evaluate(std::size_t n, CandidatePred pred,
+                        std::vector<std::uint32_t>& out) = 0;
+};
+
+// Runs `pred` over [0, n) and calls emit(i) for every true candidate, in
+// ascending i. Small batches (or no evaluator) take the serial tight loop;
+// large ones fan out through the evaluator via `scratch->eval`.
+template <typename Pred, typename Emit>
+void for_each_matching(CandidateEvaluator* eval, MatchScratch* scratch,
+                       std::size_t n, Pred&& pred, Emit&& emit) {
+  if (eval == nullptr || scratch == nullptr || n < eval->threshold()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) emit(i);
+    }
+    return;
+  }
+  scratch->eval.clear();
+  eval->evaluate(n, CandidatePred(pred), scratch->eval);
+  for (const std::uint32_t i : scratch->eval) emit(i);
+}
 
 class MatchingEngine {
  public:
@@ -60,9 +133,45 @@ class MatchingEngine {
     for (const auto& [h, e] : entries_) fn(h, e.filter);
   }
 
+  // Immutable, self-contained copy of the typed indexes with candidates as
+  // dense indices into `subs` (ascending handle order). Matching a snapshot
+  // touches only the snapshot itself plus thread_local counters, so any
+  // number of threads can match one concurrently; probe order and walk
+  // counts are identical to the live engine's.
+  struct Snapshot {
+    struct Sub {
+      Handle handle;
+      CompiledFilter filter;
+    };
+    struct Interval {
+      double lo;  // conservative, inclusive bounds
+      double hi;
+      std::uint32_t sub;
+    };
+    struct AttrIdx {
+      std::unordered_map<ValueKey, std::vector<std::uint32_t>, ValueKeyHash> eq;
+      std::vector<Interval> intervals;  // sorted by (lo, hi, handle)
+    };
+
+    std::vector<Sub> subs;  // ascending handle
+    std::unordered_map<InternId, AttrIdx> attr_indexes;
+    std::vector<std::uint32_t> scan_list;
+
+    // Appends the dense indices of all matching subs to `out` (not
+    // cleared). Passing an evaluator fans large candidate batches across
+    // threads; the result is bit-identical either way.
+    void match_into(const Publication& pub, MatchScratch& scratch,
+                    std::vector<std::uint32_t>& out,
+                    CandidateEvaluator* eval = nullptr) const;
+  };
+
+  [[nodiscard]] Snapshot build_snapshot() const;
+
   // Number of candidate filters evaluated (Filter::matches calls) by the
   // calling thread. Test/bench hook for the index-pruning invariant,
-  // mirroring SubscriptionProfile::pairwise_walks().
+  // mirroring SubscriptionProfile::pairwise_walks(). With parallel
+  // candidate evaluation, each evaluating thread accrues its own walks; the
+  // simulator harvests them per worker slot so totals stay invariant.
   [[nodiscard]] static std::size_t match_walks();
   static void reset_match_walks();
   // Credit `n` candidate evaluations done outside the engine (the routing
@@ -71,8 +180,10 @@ class MatchingEngine {
 
   // Test hook: disable the typed indexes process-wide and brute-force every
   // live filter instead. The match *set* is identical either way; the
-  // determinism and differential tests assert exactly that. Not thread-safe
-  // against concurrent matching.
+  // determinism and differential tests assert exactly that. The flag is
+  // atomic (safe to read from matching threads); flip it only while no
+  // match is in flight or the walk-count accounting of concurrent matches
+  // becomes unpredictable.
   static void set_index_enabled(bool enabled);
   [[nodiscard]] static bool index_enabled();
 

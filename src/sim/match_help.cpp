@@ -1,0 +1,86 @@
+#include "sim/match_help.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace greenps {
+
+void MatchHelpQueue::run_chunk(Request& r, std::size_t c) {
+  std::vector<std::uint32_t>& hits = (*r.hits)[c];
+  hits.clear();
+  const std::size_t lo = c * r.chunk;
+  const std::size_t hi = std::min(lo + r.chunk, r.n);
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (r.pred(i)) hits.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void MatchHelpQueue::evaluate(std::size_t n, CandidatePred pred,
+                              std::vector<std::uint32_t>& out) {
+  Request req(pred);
+  req.n = n;
+  req.chunk = chunk_;
+  req.nchunks = (n + chunk_ - 1) / chunk_;
+  if (chunk_hits_.size() < req.nchunks) chunk_hits_.resize(req.nchunks);
+  req.hits = &chunk_hits_;
+
+  Request* expected = nullptr;
+  if (!active_.compare_exchange_strong(expected, &req, std::memory_order_seq_cst)) {
+    // Another shard's request is in flight; evaluate serially rather than
+    // queue behind it (the serial loop is cheap compared to a stall).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return;
+  }
+
+  // Owner claims chunks alongside any helpers.
+  for (;;) {
+    const std::size_t c = req.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= req.nchunks) break;
+    run_chunk(req, c);
+    req.done.fetch_add(1, std::memory_order_release);
+  }
+  // Wait for helper-claimed chunks, then merge BEFORE retracting the
+  // request: chunk_hits_ is shared across sequential owners, and the next
+  // owner's CAS succeeds the moment active_ reads null — retracting first
+  // would let it clobber the vectors mid-merge. Once done == nchunks
+  // (acquire), every chunk write is visible and any helper still inside
+  // help() can only claim out-of-range chunks, so merging while the
+  // request is still published is safe.
+  while (req.done.load(std::memory_order_acquire) < req.nchunks) {
+    std::this_thread::yield();
+  }
+  for (std::size_t c = 0; c < req.nchunks; ++c) {
+    out.insert(out.end(), chunk_hits_[c].begin(), chunk_hits_[c].end());
+  }
+  // Retract, then wait for every helper holding the pointer to leave
+  // before the stack frame (and the epoch pin covering the snapshot the
+  // predicate reads) goes away.
+  active_.store(nullptr, std::memory_order_seq_cst);
+  while (helpers_inflight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+bool MatchHelpQueue::help() {
+  helpers_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  Request* r = active_.load(std::memory_order_seq_cst);
+  if (r == nullptr) {
+    helpers_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+  }
+  bool did_work = false;
+  for (;;) {
+    const std::size_t c = r->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= r->nchunks) break;
+    run_chunk(*r, c);
+    r->done.fetch_add(1, std::memory_order_release);
+    did_work = true;
+  }
+  if (did_work) donated_.fetch_add(1, std::memory_order_relaxed);
+  helpers_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+  return did_work;
+}
+
+}  // namespace greenps

@@ -1,0 +1,101 @@
+// Work-donation queue for parallel intra-broker matching inside the
+// sharded simulator.
+//
+// During a lookahead window, shards that drain their queues early sit at
+// the window barrier while hot shards keep matching — exactly the skew a
+// consolidated ("green") deployment produces. The help queue turns that
+// idle time into matching throughput: a hot shard (the owner) publishes a
+// candidate batch as the single active request, and shards spinning at the
+// barrier poll help() and claim chunks of it. The owner claims chunks too,
+// waits for all chunks to complete, and merges per-chunk hits in chunk
+// order, so the result is bit-identical to the serial loop no matter which
+// shards helped or how chunks interleaved.
+//
+// Helpers only ever dereference the owner's published request and, through
+// the predicate, the owner's epoch-pinned routing snapshot — immutable for
+// the duration of the request, since the owner does not return from
+// evaluate() (and therefore cannot unpin) until every helper has left.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "matching/matching_engine.hpp"
+
+namespace greenps {
+
+class MatchHelpQueue {
+ public:
+  static constexpr std::size_t kDefaultChunk = 64;
+
+  explicit MatchHelpQueue(std::size_t chunk = kDefaultChunk)
+      : chunk_(chunk == 0 ? kDefaultChunk : chunk) {}
+
+  // Owner side: evaluate pred over [0, n) with help from any shard worker
+  // currently polling help(). Appends the true indices to `out` in
+  // ascending order. Falls back to the serial loop if another owner's
+  // request is already active (one request at a time keeps claiming
+  // wait-free).
+  void evaluate(std::size_t n, CandidatePred pred, std::vector<std::uint32_t>& out);
+
+  // Helper side: claim and run chunks of the active request, if any.
+  // Returns true if any work was done. Safe to call from any thread at any
+  // time; called by shards spinning at the window barrier.
+  bool help();
+
+  // Chunks executed by helpers (not the owner) since construction.
+  // Observability/test hook; monotonic, relaxed.
+  [[nodiscard]] std::uint64_t donated_chunks() const {
+    return donated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Request {
+    CandidatePred pred;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::size_t nchunks = 0;
+    std::vector<std::vector<std::uint32_t>>* hits = nullptr;
+    std::atomic<std::size_t> next{0};  // next unclaimed chunk
+    std::atomic<std::size_t> done{0};  // chunks completed
+
+    explicit Request(CandidatePred p) : pred(p) {}
+  };
+
+  // Runs chunk `c` of `r`, writing hits into (*r.hits)[c].
+  static void run_chunk(Request& r, std::size_t c);
+
+  std::size_t chunk_;
+  // The single active request, owned by the evaluating thread's stack.
+  // seq_cst everywhere: the helper's inflight increment and its request
+  // load form a Dekker pair with the owner's request clear and its
+  // inflight check, which is what lets the owner safely destroy the
+  // request after (clear → inflight drains to 0).
+  std::atomic<Request*> active_{nullptr};
+  std::atomic<std::size_t> helpers_inflight_{0};
+  std::atomic<std::uint64_t> donated_{0};
+  std::vector<std::vector<std::uint32_t>> chunk_hits_;  // owner-reused
+};
+
+// CandidateEvaluator adapter over a shared MatchHelpQueue: each shard holds
+// one, all pointing at the simulation's queue.
+class HelpQueueEvaluator : public CandidateEvaluator {
+ public:
+  HelpQueueEvaluator(MatchHelpQueue& queue, std::size_t threshold)
+      : queue_(queue), threshold_(threshold) {}
+
+  [[nodiscard]] std::size_t threshold() const override { return threshold_; }
+
+  void evaluate(std::size_t n, CandidatePred pred,
+                std::vector<std::uint32_t>& out) override {
+    queue_.evaluate(n, pred, out);
+  }
+
+ private:
+  MatchHelpQueue& queue_;
+  std::size_t threshold_;
+};
+
+}  // namespace greenps
