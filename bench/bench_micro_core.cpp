@@ -498,6 +498,10 @@ int run_match_report() {
   const bool tiny = bench::tiny_scale();
   const std::size_t filters = tiny ? 2000 : 8000;
   const std::size_t iters = tiny ? 2000 : 20000;
+  // On a single-core host every "parallel" run timeshares one CPU, so
+  // speedup_vs_1 measures scheduler overhead, not scaling. The flag rides
+  // on each row so downstream dashboards can drop those points.
+  const bool single_core_host = std::thread::hardware_concurrency() <= 1;
   std::printf("\nconcurrent snapshot matching (%zu filters, %zu matches/thread)%s\n",
               filters, iters, tiny ? " [tiny/smoke scale]" : "");
 
@@ -536,6 +540,7 @@ int run_match_report() {
                          .set_number("seconds", r.seconds)
                          .set_number("matches_per_s", ops_per_s)
                          .set_number("speedup_vs_1", speedup)
+                         .set_bool("single_core_host", single_core_host)
                          .set_bool("verified", r.verified));
     }
   }

@@ -1,0 +1,311 @@
+#include "control/control_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace greenps::control {
+
+ControlLoop::ControlLoop(Simulation& sim, ControlLoopConfig config)
+    : sim_(sim),
+      config_(config),
+      controller_(config.controller),
+      croc_([&] {
+        CrocConfig c = config.croc;
+        c.capacity_headroom = config.consolidate_headroom;
+        return c;
+      }()) {
+  universe_ = sim_.deployment().capacities;
+  // Every universe broker is commissionable: parked ones answer no BIR, so
+  // CROC plans them from this reserve capacity instead.
+  std::vector<BrokerInfo> reserve;
+  reserve.reserve(universe_.size());
+  for (const auto& [id, cap] : universe_) {
+    BrokerInfo info;
+    info.id = id;
+    info.delay = cap.delay;
+    info.total_out_bw = cap.out_bw_kb_s;
+    reserve.push_back(std::move(info));
+  }
+  croc_.set_reserve_brokers(std::move(reserve));
+  if (config_.sample_interval_ms > 0) {
+    sim_.set_sample_interval_ms(config_.sample_interval_ms);
+  }
+  consumed_rows_ = sim_.samples().row_count();
+  // Construction is not a redeploy: nothing migrated and the caller's
+  // profiles are warm, so the first decision owes dwell but not warm-up.
+  last_deploy_s_ = -config_.controller.warmup_s;
+}
+
+double ControlLoop::capacity_of(const std::vector<BrokerId>& brokers) const {
+  double total = 0;
+  for (const BrokerId b : brokers) {
+    const auto it = universe_.find(b);
+    if (it != universe_.end()) total += it->second.out_bw_kb_s;
+  }
+  return total;
+}
+
+const TickRecord& ControlLoop::step() {
+  GREENPS_SPAN("control.tick");
+  sim_.run(config_.interval_s);
+  // The simulator's event clock restarts at zero on every redeploy; the
+  // loop keeps its own continuous timeline for cooldowns and reports.
+  now_s_ += config_.interval_s;
+  const double now_s = now_s_;
+
+  TickRecord rec;
+  rec.time_s = now_s;
+  rec.window = sim_.summarize();
+  rec.brokers_before = sim_.deployment().topology.broker_count();
+  rec.brokers_after = rec.brokers_before;
+
+  totals_.broker_seconds += static_cast<double>(rec.brokers_before) * config_.interval_s;
+  totals_.publications += rec.window.publications;
+  totals_.deliveries += rec.window.deliveries;
+  totals_.delay_sum_ms +=
+      rec.window.avg_delivery_delay_ms * static_cast<double>(rec.window.deliveries);
+  delays_.merge(sim_.metrics().delay_histogram());
+
+  rec.estimate = estimator_.update(sim_.samples(), consumed_rows_);
+  consumed_rows_ = sim_.samples().row_count();
+
+  if (config_.enabled) {
+    rec.decision = controller_.decide(rec.estimate, now_s, now_s - last_deploy_s_);
+  } else {
+    rec.decision = Decision{ControlAction::kHold, HoldReason::kNone, false};
+  }
+  // Window boundary: the next interval measures from zero (the merged
+  // histogram above keeps the overall distribution exact).
+  sim_.reset_metrics();
+
+  obs::MetricsRegistry::global()
+      .gauge("control.brokers")
+      .set(static_cast<double>(rec.brokers_before));
+
+  if (rec.decision.action != ControlAction::kHold) act(rec, now_s);
+
+  history_.push_back(std::move(rec));
+  return history_.back();
+}
+
+void ControlLoop::act(TickRecord& rec, double now_s) {
+  auto& reg = obs::MetricsRegistry::global();
+  const ControlAction action = rec.decision.action;
+
+  // Deterministic entry point: the smallest live broker in the overlay.
+  std::vector<BrokerId> ids = sim_.deployment().topology.brokers();
+  std::sort(ids.begin(), ids.end());
+  BrokerId entry{};
+  bool found = false;
+  for (const BrokerId b : ids) {
+    if (sim_.broker_alive(b)) {
+      entry = b;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    rec.plan_failure = FailureReason::kGatherFailed;
+    totals_.plan_failures += 1;
+    controller_.on_apply_failed(now_s);
+    return;
+  }
+
+  // The allocator packs by profiled publication rates, which charge each
+  // delivery once at its home broker; the measured link utilization pays it
+  // at every overlay hop. headroom_scale_ is the learned correction: a
+  // delay-risk rejection below tightens it from the measured/projected
+  // ratio and re-plans with more brokers. It persists across ticks — the
+  // mismatch is a property of the workload's fanout, not of one window.
+  ReconfigurationReport report;
+  std::size_t moved = 0;
+  for (int attempt = 0;; ++attempt) {
+    const double base = action == ControlAction::kCommission
+                            ? config_.commission_headroom
+                            : config_.consolidate_headroom;
+    // Changing the headroom ends the warm session (rebootstrap), so it only
+    // moves when the direction or the learned scale actually changes.
+    croc_.set_capacity_headroom(std::max(0.05, base * headroom_scale_));
+    {
+      GREENPS_SPAN_TAGGED("control.plan", static_cast<std::uint64_t>(action));
+      report = croc_.reconfigure_incremental(sim_, entry);
+    }
+    rec.planned = true;
+    if (!report.success) {
+      rec.plan_failure = report.failure;
+      totals_.plan_failures += 1;
+      reg.counter("control.plan_failures").add(1);
+      // Infeasible plans back off like failed applies: re-planning every
+      // tick against the same pool would just burn planner time.
+      controller_.on_apply_failed(now_s);
+      return;
+    }
+
+    rec.migration = report.migration;
+    const std::size_t planned_brokers = report.plan.allocated_brokers.size();
+    moved = report.migration.subscribers_moved + report.migration.publishers_moved;
+    const bool noop = moved == 0 && report.migration.brokers_commissioned == 0 &&
+                      report.migration.brokers_decommissioned == 0;
+
+    // Measured projection of the plan: the EWMA peak per-broker utilization
+    // scaled by the capacity ratio. The estimator is reset on every
+    // redeploy, so this EWMA describes the current deployment only — never
+    // the ghost of a crisis an earlier commission already relieved.
+    const double cap_planned = capacity_of(report.plan.allocated_brokers);
+    const double proj_peak =
+        cap_planned > 0
+            ? rec.estimate.ewma_peak_util * capacity_of(ids) / cap_planned
+            : 0.0;
+    const double target = config_.controller.consolidate_util_target;
+
+    if (action == ControlAction::kCommission) {
+      const bool stale = noop || planned_brokers <= rec.brokers_before;
+      // Size the growth toward the target utilization: a plan whose
+      // projected peak still clears the band adds too little; one far
+      // below 0.75x target adds too much (the overshoot that a later
+      // consolidation would have to claw back, migrating everyone twice).
+      const bool too_hot = proj_peak > config_.controller.util_high;
+      const bool too_cold = proj_peak < 0.75 * target;
+      if ((stale || too_hot || too_cold) && attempt < kMaxPlanAttempts) {
+        if (stale) {
+          // The profiled rates say current capacity suffices while the
+          // measured load says otherwise (profiles are lifetime averages
+          // and do not see the backlog): tighten until the plan grows —
+          // proportionally when the projection is usable, bluntly when the
+          // trigger was pure backlog at modest utilization.
+          reg.counter("control.stale_profile_rejections").add(1);
+          const double factor = proj_peak > target ? target / proj_peak : 0.7;
+          headroom_scale_ = std::clamp(headroom_scale_ * factor, 0.05, kMaxScale);
+        } else {
+          headroom_scale_ = std::clamp(
+              headroom_scale_ * target / std::max(proj_peak, 1e-3), 0.05, kMaxScale);
+          reg.counter(too_hot ? "control.commission_hot_retunes"
+                              : "control.commission_cold_retunes")
+              .add(1);
+        }
+        reg.gauge("control.headroom_scale").set(headroom_scale_);
+        continue;
+      }
+      if (stale) {
+        // Out of attempts and the plan never grew: reject, cool down.
+        controller_.on_plan_rejected(action, now_s);
+        totals_.plans_rejected += 1;
+        return;
+      }
+      // A hot/cold plan that at least grows is still applied at this
+      // point — under a commission signal, imperfect capacity beats none.
+    } else {
+      rec.score = score_consolidation(config_.controller, rec.brokers_before,
+                                      planned_brokers, report.migration,
+                                      rec.estimate.avg_util, capacity_of(ids),
+                                      cap_planned);
+      reg.gauge("control.score_net").set(rec.score.net);
+      // Predict the post-repack hottest broker: the avg-based capacity
+      // scaling times the measured peak/avg skew. The skew is clamped —
+      // repacking onto fewer brokers evens out the extreme imbalance of a
+      // sparse deployment, so today's raw ratio overstates tomorrow's.
+      const double skew = std::clamp(
+          rec.estimate.ewma_avg_util > 1e-6
+              ? rec.estimate.ewma_peak_util / rec.estimate.ewma_avg_util
+              : 1.0,
+          1.0, 1.6);
+      const double proj = rec.score.projected_util * skew;
+      // Calibrate the learned scale toward the target: too hot (the packed
+      // peak would ride a rising ramp straight out of the band and flap
+      // back) means the model still undercounts; far too cold means the
+      // scale has over-corrected (e.g. after a commission surge) and the
+      // plan keeps brokers the load cannot fill — including noop plans
+      // that refuse to shrink at all. Both retune and re-plan.
+      const bool too_hot = proj > 1.2 * target;
+      const bool too_cold = proj > 0 && proj < 0.8 * target;
+      if ((too_hot || too_cold) && attempt < kMaxPlanAttempts) {
+        headroom_scale_ =
+            std::clamp(headroom_scale_ * target / std::max(proj, 1e-3), 0.05, kMaxScale);
+        reg.gauge("control.headroom_scale").set(headroom_scale_);
+        reg.counter(too_cold ? "control.slack_retunes"
+                             : "control.delay_risk_retunes")
+            .add(1);
+        continue;
+      }
+      if (noop) {
+        reg.counter("control.noop_plans").add(1);
+        controller_.on_plan_rejected(action, now_s);
+        totals_.plans_rejected += 1;
+        return;
+      }
+      if (rec.score.delay_risk || proj > config_.controller.consolidate_util_cap) {
+        reg.counter("control.delay_risk_rejections").add(1);
+        controller_.on_plan_rejected(action, now_s);
+        totals_.plans_rejected += 1;
+        return;
+      }
+      if (!rec.score.worth_applying()) {
+        reg.counter("control.not_worth_rejections").add(1);
+        controller_.on_plan_rejected(action, now_s);
+        totals_.plans_rejected += 1;
+        return;
+      }
+    }
+    break;
+  }
+
+  if (pre_apply_hook) pre_apply_hook(report.plan);
+
+  // The commissionable universe rides along so the validator accepts plan
+  // brokers that are currently parked (powered off, not in the overlay).
+  Deployment base = sim_.deployment();
+  for (const auto& [id, cap] : universe_) base.capacities.try_emplace(id, cap);
+
+  // Health probe: a broker is unreachable only if it is deployed AND
+  // crashed. Parked universe brokers are powered off, not failed — they
+  // must probe healthy or no commission could ever succeed.
+  const auto probe = [this](BrokerId b) {
+    return !sim_.deployment().topology.has_broker(b) || sim_.broker_alive(b);
+  };
+  ApplyResult applied;
+  {
+    GREENPS_SPAN_TAGGED("control.apply", static_cast<std::uint64_t>(action));
+    applied = apply_plan_transactional(base, report.plan, probe);
+  }
+  if (!applied.success) {
+    rec.apply_failure = applied.reason;
+    totals_.apply_failures += 1;
+    reg.counter("control.apply_failures").add(1);
+    obs::trace_instant("control.rollback", static_cast<std::uint64_t>(applied.steps_applied));
+    controller_.on_apply_failed(now_s);
+    return;
+  }
+
+  sim_.redeploy(std::move(applied.deployment));
+  consumed_rows_ = 0;  // redeploy cleared the sampler with the old epoch
+  // The EWMA state describes a deployment that no longer exists — re-seed
+  // it from the new one's first window rather than averaging across the
+  // discontinuity.
+  estimator_.reset();
+  last_deploy_s_ = now_s;
+  rec.applied = true;
+  rec.brokers_after = sim_.deployment().topology.broker_count();
+  controller_.on_applied(action, now_s);
+  totals_.reconfigurations += 1;
+  totals_.clients_migrated += moved;
+  reg.counter("control.clients_migrated").add(moved);
+  if (action == ControlAction::kCommission) {
+    totals_.commissions += 1;
+    reg.counter("control.commissions").add(1);
+    obs::trace_instant("control.commission", rec.brokers_after);
+  } else {
+    totals_.consolidations += 1;
+    reg.counter("control.consolidations").add(1);
+    obs::trace_instant("control.consolidate", rec.brokers_after);
+  }
+}
+
+void ControlLoop::run_for(double seconds) {
+  const auto steps = static_cast<std::size_t>(std::ceil(seconds / config_.interval_s));
+  for (std::size_t i = 0; i < steps; ++i) step();
+}
+
+}  // namespace greenps::control

@@ -1,0 +1,149 @@
+#include "control/elastic_controller.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace greenps::control {
+
+const char* action_name(ControlAction a) {
+  switch (a) {
+    case ControlAction::kHold: return "hold";
+    case ControlAction::kConsolidate: return "consolidate";
+    case ControlAction::kCommission: return "commission";
+  }
+  return "?";
+}
+
+const char* hold_reason_name(HoldReason r) {
+  switch (r) {
+    case HoldReason::kNone: return "none";
+    case HoldReason::kNoSignal: return "no_signal";
+    case HoldReason::kWarmup: return "warmup";
+    case HoldReason::kInBand: return "in_band";
+    case HoldReason::kDwell: return "dwell";
+    case HoldReason::kCooldown: return "cooldown";
+    case HoldReason::kBackoff: return "backoff";
+  }
+  return "?";
+}
+
+PlanScore score_consolidation(const ControllerConfig& cfg, std::size_t brokers_now,
+                              std::size_t brokers_planned, const MigrationCost& migration,
+                              double window_avg_util, double capacity_now_kb_s,
+                              double capacity_planned_kb_s) {
+  PlanScore s;
+  const double saved = static_cast<double>(brokers_now) - static_cast<double>(brokers_planned);
+  s.energy_gain = cfg.energy_weight * saved * cfg.score_horizon_s / 3600.0;
+  const std::size_t moved = migration.subscribers_moved + migration.publishers_moved;
+  const std::size_t population =
+      migration.subscribers_total + migration.publishers_total;
+  s.migration_penalty =
+      population > 0 ? cfg.migration_weight * static_cast<double>(moved) /
+                           static_cast<double>(population)
+                     : 0.0;
+  s.commission_penalty =
+      cfg.commission_weight * static_cast<double>(migration.brokers_commissioned +
+                                                  migration.brokers_decommissioned);
+  // Today's aggregate output work, spread over the planned capacity: the
+  // same busy-seconds concentrated on fewer links.
+  s.projected_util = capacity_planned_kb_s > 0
+                         ? window_avg_util * capacity_now_kb_s / capacity_planned_kb_s
+                         : 1.0;
+  s.delay_risk = s.projected_util > cfg.consolidate_util_cap;
+  s.net = s.energy_gain - s.migration_penalty - s.commission_penalty;
+  return s;
+}
+
+Decision ElasticController::decide(const LoadEstimate& est, double now_s,
+                                   double since_deploy_s) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("control.ticks").add(1);
+  reg.gauge("control.ewma_peak_util").set(est.ewma_peak_util);
+  reg.gauge("control.max_backlog_s").set(est.max_backlog_s);
+
+  const auto hold = [&reg](HoldReason r) {
+    reg.counter("control.holds").add(1);
+    return Decision{ControlAction::kHold, r, false};
+  };
+
+  if (est.sample_ticks == 0) return hold(HoldReason::kNoSignal);
+
+  if (since_deploy_s < config_.warmup_s) {
+    // The windows right after a redeploy measure the migration transient
+    // (queues rebuilt, backlog draining), not the workload — dwell must
+    // not accumulate on them or every apply pre-charges the next trigger.
+    up_dwell_ = 0;
+    down_dwell_ = 0;
+    return hold(HoldReason::kWarmup);
+  }
+
+  const bool emergency = est.max_backlog_s > config_.backlog_high_s;
+  const bool signal_up = est.ewma_peak_util > config_.util_high || emergency;
+  const bool signal_down = est.ewma_peak_util < config_.util_low &&
+                           est.max_backlog_s < config_.backlog_quiet_s;
+  // Dwell counters advance on every tick the signal persists and reset the
+  // moment it breaks — a flapping signal never accumulates dwell. They do
+  // accumulate through cooldown/backoff holds, so a persistent signal acts
+  // the moment those expire.
+  up_dwell_ = signal_up ? up_dwell_ + 1 : 0;
+  down_dwell_ = signal_down ? down_dwell_ + 1 : 0;
+
+  if (now_s < backoff_until_) return hold(HoldReason::kBackoff);
+
+  if (signal_up) {
+    if (now_s < commission_ready_at_) return hold(HoldReason::kCooldown);
+    if (!emergency && up_dwell_ < config_.commission_dwell_ticks) {
+      return hold(HoldReason::kDwell);
+    }
+    if (emergency) reg.counter("control.emergency_commissions").add(1);
+    return Decision{ControlAction::kCommission, HoldReason::kNone, emergency};
+  }
+  if (signal_down) {
+    if (now_s < consolidate_ready_at_) return hold(HoldReason::kCooldown);
+    if (down_dwell_ < config_.consolidate_dwell_ticks) return hold(HoldReason::kDwell);
+    return Decision{ControlAction::kConsolidate, HoldReason::kNone, false};
+  }
+  return hold(HoldReason::kInBand);
+}
+
+void ElasticController::on_applied(ControlAction action, double now_s) {
+  up_dwell_ = 0;
+  down_dwell_ = 0;
+  failures_ = 0;
+  backoff_until_ = 0;
+  // Both directions cool down after any apply — an immediate reversal of a
+  // move we just paid for is exactly the flapping the bands exist to stop —
+  // but asymmetrically. The full consolidate cooldown only follows a
+  // consolidation: commissions are sized from an EWMA that lags under
+  // backlog and routinely overshoot, and the claw-back consolidation after
+  // the surge passes is the controller's whole energy case. It still has
+  // to clear the short guard, the warm-up gate and the full dwell.
+  commission_ready_at_ = now_s + config_.commission_cooldown_s;
+  consolidate_ready_at_ =
+      now_s + (action == ControlAction::kConsolidate
+                   ? config_.consolidate_cooldown_s
+                   : config_.commission_cooldown_s);
+}
+
+void ElasticController::on_apply_failed(double now_s) {
+  failures_ += 1;
+  double backoff = config_.failure_backoff_s;
+  for (std::size_t i = 1; i < failures_; ++i) backoff *= 2;
+  backoff = std::min(backoff, config_.max_backoff_s);
+  backoff_until_ = now_s + backoff;
+  obs::MetricsRegistry::global().gauge("control.backoff_s").set(backoff);
+  // Dwell survives: the load signal that motivated the plan is still there,
+  // so once the backoff expires the controller re-plans immediately.
+}
+
+void ElasticController::on_plan_rejected(ControlAction action, double now_s) {
+  if (action == ControlAction::kConsolidate) {
+    consolidate_ready_at_ = now_s + config_.consolidate_cooldown_s / 2;
+  } else if (action == ControlAction::kCommission) {
+    commission_ready_at_ = now_s + config_.commission_cooldown_s / 2;
+  }
+  obs::MetricsRegistry::global().counter("control.plans_rejected").add(1);
+}
+
+}  // namespace greenps::control

@@ -1,0 +1,153 @@
+// ElasticController — the decision core of closed-loop elastic autoscaling.
+//
+// Pure policy over LoadEstimate series: given the EWMA'd utilization and
+// backlog signals it decides, once per control tick, whether to hold, to
+// consolidate brokers (low load — the paper's green objective), or to
+// commission parked capacity back (flash crowd). Anti-flap machinery is
+// explicit: hysteresis bands (util_low << util_high), per-direction dwell
+// counters (a signal must persist before acting), per-direction cooldowns
+// after an apply, a post-redeploy warm-up gate (CBC profiles restart empty
+// after every migration and the planner needs them refilled), and
+// exponential backoff after failed applies.
+//
+// Whether a consolidation plan is *worth applying* is a separate explicit
+// multi-objective score (score_consolidation): energy saved (broker-hours
+// over the decision horizon) against migration cost (clients moved, brokers
+// cycled) and delivery-delay risk (projected post-consolidation
+// utilization), following the consumer-group autoscaling framing of
+// arXiv 2206.11170 / 2402.06085.
+//
+// The controller is deterministic: decisions depend only on the
+// estimate/feedback call sequence, never on wall clock or randomness.
+#pragma once
+
+#include <cstddef>
+
+#include "control/load_estimator.hpp"
+#include "croc/croc.hpp"
+
+namespace greenps::control {
+
+enum class ControlAction { kHold, kConsolidate, kCommission };
+[[nodiscard]] const char* action_name(ControlAction a);
+
+// Why a tick held (kNone when it acted).
+enum class HoldReason {
+  kNone,
+  kNoSignal,   // no samples arrived this window
+  kWarmup,     // too soon after a redeploy: profiles still refilling
+  kInBand,     // load inside the hysteresis band
+  kDwell,      // signal present but not yet persistent enough
+  kCooldown,   // acted too recently in this direction
+  kBackoff,    // a recent apply failed; waiting before re-planning
+};
+[[nodiscard]] const char* hold_reason_name(HoldReason r);
+
+struct ControllerConfig {
+  // Hysteresis band on EWMA peak per-broker output-link utilization. The
+  // lower edge sits 25% under consolidate_util_target: riding below it
+  // means the deployment carries >1/3 idle capacity (e.g. the remnant of a
+  // flash-crowd commission), which is exactly what consolidation exists to
+  // reclaim — while post-consolidation load (~target) stays safely inside
+  // the band.
+  double util_high = 0.70;
+  double util_low = 0.45;
+  // Raw (un-smoothed) backlog that triggers an emergency commission,
+  // skipping the dwell requirement: seconds of queued output.
+  double backlog_high_s = 0.75;
+  // Consolidation additionally requires the worst backlog to be quiet —
+  // i.e. near the steady-state queueing of a healthy broker (~0.2 s here),
+  // not a draining surge.
+  double backlog_quiet_s = 0.3;
+  // Ticks the signal must persist before acting — emergencies (backlog)
+  // skip the commission dwell entirely, keeping surge response at one tick.
+  std::size_t commission_dwell_ticks = 2;
+  std::size_t consolidate_dwell_ticks = 3;
+  // Seconds after an apply before acting again in each direction.
+  double commission_cooldown_s = 20;
+  double consolidate_cooldown_s = 150;
+  // Seconds after a redeploy before any decision (profile warm-up).
+  double warmup_s = 20;
+  // Failed-apply backoff: doubles per consecutive failure, capped.
+  double failure_backoff_s = 20;
+  double max_backoff_s = 320;
+
+  // ---- multi-objective score (units: broker-hours) ----
+  // Energy saved integrates over this horizon (how long the consolidated
+  // deployment is expected to persist).
+  double score_horizon_s = 600;
+  double energy_weight = 1.0;  // per broker-hour saved
+  // Broker-hour equivalent of migrating the ENTIRE client population. The
+  // penalty is charged on the moved fraction, so it is scale-free: a
+  // reshuffle that moves everyone to save one broker loses to the energy
+  // term whether the system hosts five hundred clients or fifty thousand,
+  // and a multi-broker consolidation clears it just the same.
+  double migration_weight = 0.25;
+  double commission_weight = 1.0 / 40;  // per broker commissioned/decommissioned
+  // Hard delay-risk gate: reject consolidations whose projected mean
+  // utilization exceeds this. Sits just below the allocator's consolidation
+  // packing headroom — the plan is already capacity-feasible against
+  // profiled rates, so this only vetoes packing into load that the window
+  // shows is higher than the profiles admit (i.e. a rising ramp).
+  double consolidate_util_cap = 0.85;
+  // Projected utilization a well-sized consolidation should land at; the
+  // control loop retunes its learned headroom correction toward this.
+  double consolidate_util_target = 0.60;
+};
+
+struct Decision {
+  ControlAction action = ControlAction::kHold;
+  HoldReason hold = HoldReason::kNone;
+  bool emergency = false;  // backlog-triggered commission (dwell skipped)
+};
+
+// Explicit worthiness of a concrete consolidation plan.
+struct PlanScore {
+  double energy_gain = 0;         // broker-hours saved over the horizon
+  double migration_penalty = 0;   // broker-hour equivalent of the moved fraction
+  double commission_penalty = 0;  // broker-hour equivalent of cycled brokers
+  double projected_util = 0;      // window avg util scaled to the new capacity
+  bool delay_risk = false;        // projected_util above the cap
+  double net = 0;                 // energy - migration - commission
+  [[nodiscard]] bool worth_applying() const { return net > 0 && !delay_risk; }
+};
+
+[[nodiscard]] PlanScore score_consolidation(const ControllerConfig& cfg,
+                                            std::size_t brokers_now,
+                                            std::size_t brokers_planned,
+                                            const MigrationCost& migration,
+                                            double window_avg_util,
+                                            double capacity_now_kb_s,
+                                            double capacity_planned_kb_s);
+
+class ElasticController {
+ public:
+  explicit ElasticController(ControllerConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  // One decision at sim time `now_s`; `since_deploy_s` is the time since
+  // the deployment last changed (warm-up gating).
+  [[nodiscard]] Decision decide(const LoadEstimate& est, double now_s,
+                                double since_deploy_s);
+
+  // Outcome feedback — drives cooldowns, dwell resets and failure backoff.
+  void on_applied(ControlAction action, double now_s);
+  void on_apply_failed(double now_s);
+  // Planned but rejected (not worth it / infeasible / no-op): hold off
+  // re-planning in that direction for half a cooldown.
+  void on_plan_rejected(ControlAction action, double now_s);
+
+  [[nodiscard]] std::size_t consecutive_failures() const { return failures_; }
+
+ private:
+  ControllerConfig config_;
+  std::size_t up_dwell_ = 0;
+  std::size_t down_dwell_ = 0;
+  double commission_ready_at_ = 0;
+  double consolidate_ready_at_ = 0;
+  double backoff_until_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace greenps::control

@@ -1,0 +1,76 @@
+#include "control/load_estimator.hpp"
+
+#include <algorithm>
+
+namespace greenps::control {
+
+namespace {
+// Column order fixed by Simulation's sampler construction.
+constexpr std::size_t kColInRate = 0;
+constexpr std::size_t kColBacklog = 2;
+constexpr std::size_t kColUtil = 3;
+}  // namespace
+
+void LoadEstimator::reset() {
+  state_ = LoadEstimate{};
+  primed_ = false;
+}
+
+const LoadEstimate& LoadEstimator::update(const obs::TimeSeriesSampler& sampler,
+                                          std::size_t begin_row) {
+  const auto& rows = sampler.rows();
+  LoadEstimate w;  // window aggregates rebuilt from scratch
+  w.ewma_avg_util = state_.ewma_avg_util;
+  w.ewma_peak_util = state_.ewma_peak_util;
+  w.ewma_in_rate = state_.ewma_in_rate;
+  w.time_s = state_.time_s;
+
+  double avg_util_sum = 0;   // per-instant means, summed over instants
+  double in_rate_sum = 0;    // per-instant totals, summed over instants
+  std::size_t max_brokers = 0;
+
+  std::size_t i = begin_row;
+  while (i < rows.size()) {
+    // One sampling instant: the run of rows sharing a timestamp (canonical
+    // order groups them; every broker reports each instant).
+    const double t = rows[i].time_s;
+    double util_sum = 0;
+    double util_max = 0;
+    double in_rate = 0;
+    std::size_t n = 0;
+    for (; i < rows.size() && rows[i].time_s == t; ++i) {
+      const auto& v = rows[i].values;
+      util_sum += v[kColUtil];
+      util_max = std::max(util_max, v[kColUtil]);
+      in_rate += v[kColInRate];
+      w.max_backlog_s = std::max(w.max_backlog_s, v[kColBacklog]);
+      n += 1;
+    }
+    const double util_mean = n > 0 ? util_sum / static_cast<double>(n) : 0.0;
+    if (!primed_) {
+      w.ewma_avg_util = util_mean;
+      w.ewma_peak_util = util_max;
+      w.ewma_in_rate = in_rate;
+      primed_ = true;
+    } else {
+      w.ewma_avg_util += alpha_ * (util_mean - w.ewma_avg_util);
+      w.ewma_peak_util += alpha_ * (util_max - w.ewma_peak_util);
+      w.ewma_in_rate += alpha_ * (in_rate - w.ewma_in_rate);
+    }
+    w.peak_util = std::max(w.peak_util, util_max);
+    avg_util_sum += util_mean;
+    in_rate_sum += in_rate;
+    max_brokers = std::max(max_brokers, n);
+    w.sample_ticks += 1;
+    w.time_s = t;
+  }
+  if (w.sample_ticks > 0) {
+    w.avg_util = avg_util_sum / static_cast<double>(w.sample_ticks);
+    w.in_rate_msg_s = in_rate_sum / static_cast<double>(w.sample_ticks);
+  }
+  w.brokers = max_brokers;
+  state_ = w;
+  return state_;
+}
+
+}  // namespace greenps::control

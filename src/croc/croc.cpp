@@ -73,6 +73,7 @@ ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
               " unreachable?); reconfiguration aborted");
     return report;
   }
+  splice_reserve(info);
   ReconfigurationReport report = plan_from_info(info);
   report.phase1_seconds = seconds_since(t0) - report.phase2_seconds -
                           report.phase3_seconds - report.grape_seconds;
@@ -314,6 +315,35 @@ const IncrementalCram* Croc::session_cram() const {
 
 void Croc::end_incremental() { session_.reset(); }
 
+void Croc::set_reserve_brokers(std::vector<BrokerInfo> reserve) {
+  std::sort(reserve.begin(), reserve.end(),
+            [](const BrokerInfo& a, const BrokerInfo& b) { return a.id < b.id; });
+  reserve_ = std::move(reserve);
+}
+
+void Croc::set_capacity_headroom(double headroom) {
+  if (headroom == config_.capacity_headroom) return;
+  config_.capacity_headroom = headroom;
+  // The warm state converged on the previous headroom-scaled pool; a fresh
+  // session bootstraps on the next reconfigure_incremental().
+  if (session_ != nullptr) {
+    obs::MetricsRegistry::global().counter("croc.incremental.session_resets").add(1);
+    end_incremental();
+  }
+}
+
+void Croc::splice_reserve(GatheredInfo& info) const {
+  if (reserve_.empty()) return;
+  std::unordered_set<BrokerId> live;
+  live.reserve(info.brokers.size());
+  for (const BrokerInfo& b : info.brokers) live.insert(b.id);
+  for (const BrokerInfo& b : reserve_) {
+    // reserve_ is sorted by id, so the spliced order — and every plan
+    // derived from the pool — is deterministic.
+    if (!live.contains(b.id)) info.brokers.push_back(b);
+  }
+}
+
 ReconfigurationReport Croc::begin_incremental(const GatheredInfo& info) {
   GREENPS_SPAN("croc.begin_incremental");
   end_incremental();
@@ -461,6 +491,7 @@ ReconfigurationReport Croc::reconfigure_incremental(const Simulation& sim, Broke
   };
   const auto bootstrap = [&](GatheredInfo info) {
     if (info.brokers.empty()) return gather_failed(info.stats);
+    splice_reserve(info);
     return finalize(begin_incremental(info), info.stats);
   };
 
@@ -477,6 +508,7 @@ ReconfigurationReport Croc::reconfigure_incremental(const Simulation& sim, Broke
         [&sim](BrokerId b) { return sim.broker_epoch_if_reachable(b); }, provider);
   }
   if (info.brokers.empty()) return gather_failed(info.stats);
+  splice_reserve(info);
   if (structural_reset_needed(session_->info, info)) {
     obs::MetricsRegistry::global().counter("croc.incremental.session_resets").add(1);
     end_incremental();

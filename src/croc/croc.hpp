@@ -152,8 +152,33 @@ class Croc {
   [[nodiscard]] const IncrementalCram* session_cram() const;
   void end_incremental();
 
+  // ---- elastic operation (the autoscaling controller) ----
+
+  // Parked capacity the allocators may commission even though the brokers
+  // are not in the live overlay and answer no BIR (a consolidation powered
+  // them off). reconfigure()/reconfigure_incremental() splice any reserve
+  // entry whose id Phase 1 did not report into the gathered pool, so plans
+  // can scale the deployment back out under a flash crowd. Because the
+  // spliced pool covers the same broker universe whether a broker is live
+  // or parked, commissioning/decommissioning does not trip the structural
+  // session reset — the warm incremental state survives controller epochs.
+  // Entries are kept sorted by id; pass an empty vector to clear.
+  void set_reserve_brokers(std::vector<BrokerInfo> reserve);
+  [[nodiscard]] const std::vector<BrokerInfo>& reserve_brokers() const { return reserve_; }
+
+  // Retune the allocator headroom between plans (consolidation plans pack
+  // tighter than flash-crowd commissions). Ends any live incremental
+  // session when the value actually changes: the warm CRAM state is keyed
+  // to the headroom-scaled pool it converged on.
+  void set_capacity_headroom(double headroom);
+  [[nodiscard]] double capacity_headroom() const { return config_.capacity_headroom; }
+
  private:
   struct Session;
+
+  // Append reserve entries Phase 1 did not report (parked brokers are not
+  // in the overlay, so the gather never visits them).
+  void splice_reserve(GatheredInfo& info) const;
 
   // Phases 3 + GRAPE from a successful Phase 2 allocation (the shared tail
   // of plan_from_info and the incremental planners).
@@ -164,6 +189,7 @@ class Croc {
 
   CrocConfig config_;
   std::unique_ptr<Session> session_;
+  std::vector<BrokerInfo> reserve_;  // sorted by id
 };
 
 }  // namespace greenps

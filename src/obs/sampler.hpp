@@ -15,6 +15,12 @@ namespace greenps::obs {
 
 class TimeSeriesSampler {
  public:
+  struct Row {
+    double time_s;
+    std::uint64_t key;
+    std::vector<double> values;
+  };
+
   // `key_column` names the per-entity id column (e.g. "broker");
   // `value_columns` name the metrics appended per sample row.
   TimeSeriesSampler(std::string key_column, std::vector<std::string> value_columns);
@@ -23,6 +29,9 @@ class TimeSeriesSampler {
   void append(double time_s, std::uint64_t key, const std::vector<double>& values);
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  // In-memory view for programmatic consumers (the elastic controller reads
+  // load series straight off the simulator instead of re-parsing CSV).
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
   [[nodiscard]] std::string render_csv() const;
   bool write_csv(const std::string& path) const;
   void clear() { rows_.clear(); }
@@ -41,11 +50,6 @@ class TimeSeriesSampler {
   [[nodiscard]] static std::string path_from_env();
 
  private:
-  struct Row {
-    double time_s;
-    std::uint64_t key;
-    std::vector<double> values;
-  };
   std::string key_column_;
   std::vector<std::string> value_columns_;
   std::vector<Row> rows_;

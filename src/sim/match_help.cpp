@@ -5,6 +5,14 @@
 
 namespace greenps {
 
+void MatchHelpQueue::configure_slots(std::size_t slots) {
+  const std::size_t n = std::max<std::size_t>(slots, 1);
+  if (slots_.size() == n) return;
+  slots_.clear();
+  slots_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
 void MatchHelpQueue::run_chunk(Request& r, std::size_t c) {
   std::vector<std::uint32_t>& hits = (*r.hits)[c];
   hits.clear();
@@ -15,24 +23,28 @@ void MatchHelpQueue::run_chunk(Request& r, std::size_t c) {
   }
 }
 
-void MatchHelpQueue::evaluate(std::size_t n, CandidatePred pred,
+void MatchHelpQueue::evaluate(std::size_t slot, std::size_t n, CandidatePred pred,
                               std::vector<std::uint32_t>& out) {
-  Request req(pred);
-  req.n = n;
-  req.chunk = chunk_;
-  req.nchunks = (n + chunk_ - 1) / chunk_;
-  if (chunk_hits_.size() < req.nchunks) chunk_hits_.resize(req.nchunks);
-  req.hits = &chunk_hits_;
-
-  Request* expected = nullptr;
-  if (!active_.compare_exchange_strong(expected, &req, std::memory_order_seq_cst)) {
-    // Another shard's request is in flight; evaluate serially rather than
-    // queue behind it (the serial loop is cheap compared to a stall).
+  Slot& s = *slots_[slot < slots_.size() ? slot : 0];
+  // Claim the slot before touching its hit vectors: a previous owner of
+  // this slot releases `claimed` only after its last helper left, so the
+  // winner may resize chunk_hits without racing anyone.
+  if (s.claimed.exchange(true, std::memory_order_acquire)) {
+    // Another owner holds this slot (never the simulator — each shard owns
+    // its own slot); evaluate serially rather than queue behind it.
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
     }
     return;
   }
+
+  Request req(pred);
+  req.n = n;
+  req.chunk = chunk_;
+  req.nchunks = (n + chunk_ - 1) / chunk_;
+  if (s.chunk_hits.size() < req.nchunks) s.chunk_hits.resize(req.nchunks);
+  req.hits = &s.chunk_hits;
+  s.active.store(&req, std::memory_order_seq_cst);
 
   // Owner claims chunks alongside any helpers.
   for (;;) {
@@ -42,44 +54,52 @@ void MatchHelpQueue::evaluate(std::size_t n, CandidatePred pred,
     req.done.fetch_add(1, std::memory_order_release);
   }
   // Wait for helper-claimed chunks, then merge BEFORE retracting the
-  // request: chunk_hits_ is shared across sequential owners, and the next
-  // owner's CAS succeeds the moment active_ reads null — retracting first
-  // would let it clobber the vectors mid-merge. Once done == nchunks
-  // (acquire), every chunk write is visible and any helper still inside
-  // help() can only claim out-of-range chunks, so merging while the
-  // request is still published is safe.
+  // request: chunk_hits is shared across this slot's sequential owners, and
+  // the next owner may claim the moment `claimed` reads false — retracting
+  // and releasing first would let it clobber the vectors mid-merge. Once
+  // done == nchunks (acquire), every chunk write is visible and any helper
+  // still inside help() can only claim out-of-range chunks, so merging
+  // while the request is still published is safe.
   while (req.done.load(std::memory_order_acquire) < req.nchunks) {
     std::this_thread::yield();
   }
   for (std::size_t c = 0; c < req.nchunks; ++c) {
-    out.insert(out.end(), chunk_hits_[c].begin(), chunk_hits_[c].end());
+    out.insert(out.end(), s.chunk_hits[c].begin(), s.chunk_hits[c].end());
   }
   // Retract, then wait for every helper holding the pointer to leave
   // before the stack frame (and the epoch pin covering the snapshot the
-  // predicate reads) goes away.
-  active_.store(nullptr, std::memory_order_seq_cst);
-  while (helpers_inflight_.load(std::memory_order_seq_cst) != 0) {
+  // predicate reads) goes away. Only then release the slot claim.
+  s.active.store(nullptr, std::memory_order_seq_cst);
+  while (s.helpers_inflight.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
   }
+  s.claimed.store(false, std::memory_order_release);
 }
 
 bool MatchHelpQueue::help() {
-  helpers_inflight_.fetch_add(1, std::memory_order_seq_cst);
-  Request* r = active_.load(std::memory_order_seq_cst);
-  if (r == nullptr) {
-    helpers_inflight_.fetch_sub(1, std::memory_order_seq_cst);
-    return false;
-  }
   bool did_work = false;
-  for (;;) {
-    const std::size_t c = r->next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= r->nchunks) break;
-    run_chunk(*r, c);
-    r->done.fetch_add(1, std::memory_order_release);
-    did_work = true;
+  for (const auto& sp : slots_) {
+    Slot& s = *sp;
+    s.helpers_inflight.fetch_add(1, std::memory_order_seq_cst);
+    Request* r = s.active.load(std::memory_order_seq_cst);
+    if (r == nullptr) {
+      s.helpers_inflight.fetch_sub(1, std::memory_order_seq_cst);
+      continue;
+    }
+    bool helped = false;
+    for (;;) {
+      const std::size_t c = r->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= r->nchunks) break;
+      run_chunk(*r, c);
+      r->done.fetch_add(1, std::memory_order_release);
+      helped = true;
+    }
+    if (helped) {
+      donated_.fetch_add(1, std::memory_order_relaxed);
+      did_work = true;
+    }
+    s.helpers_inflight.fetch_sub(1, std::memory_order_seq_cst);
   }
-  if (did_work) donated_.fetch_add(1, std::memory_order_relaxed);
-  helpers_inflight_.fetch_sub(1, std::memory_order_seq_cst);
   return did_work;
 }
 

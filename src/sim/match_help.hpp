@@ -5,21 +5,29 @@
 // the window barrier while hot shards keep matching — exactly the skew a
 // consolidated ("green") deployment produces. The help queue turns that
 // idle time into matching throughput: a hot shard (the owner) publishes a
-// candidate batch as the single active request, and shards spinning at the
-// barrier poll help() and claim chunks of it. The owner claims chunks too,
-// waits for all chunks to complete, and merges per-chunk hits in chunk
-// order, so the result is bit-identical to the serial loop no matter which
-// shards helped or how chunks interleaved.
+// candidate batch into its slot of a small per-shard request ring, and
+// shards spinning at the barrier poll help() and claim chunks of any
+// published request. The owner claims chunks too, waits for all chunks to
+// complete, and merges per-chunk hits in chunk order, so the result is
+// bit-identical to the serial loop no matter which shards helped or how
+// chunks interleaved.
 //
-// Helpers only ever dereference the owner's published request and, through
-// the predicate, the owner's epoch-pinned routing snapshot — immutable for
-// the duration of the request, since the owner does not return from
-// evaluate() (and therefore cannot unpin) until every helper has left.
+// One slot per shard means several hot brokers on different shards can fan
+// out in the same lookahead window (the single-slot design forced all but
+// one of them back to the serial loop). A slot's owner is its shard's
+// worker thread, so slot claims never contend in the simulator; the claim
+// flag only arbitrates callers that share a slot (tests, external users).
+//
+// Helpers only ever dereference a published request and, through the
+// predicate, the owner's epoch-pinned routing snapshot — immutable for the
+// duration of the request, since the owner does not return from evaluate()
+// (and therefore cannot unpin) until every helper has left its slot.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "matching/matching_engine.hpp"
@@ -30,22 +38,35 @@ class MatchHelpQueue {
  public:
   static constexpr std::size_t kDefaultChunk = 64;
 
-  explicit MatchHelpQueue(std::size_t chunk = kDefaultChunk)
-      : chunk_(chunk == 0 ? kDefaultChunk : chunk) {}
+  explicit MatchHelpQueue(std::size_t chunk = kDefaultChunk, std::size_t slots = 1)
+      : chunk_(chunk == 0 ? kDefaultChunk : chunk) {
+    configure_slots(slots);
+  }
 
-  // Owner side: evaluate pred over [0, n) with help from any shard worker
-  // currently polling help(). Appends the true indices to `out` in
-  // ascending order. Falls back to the serial loop if another owner's
-  // request is already active (one request at a time keeps claiming
-  // wait-free).
-  void evaluate(std::size_t n, CandidatePred pred, std::vector<std::uint32_t>& out);
+  // Size the request ring: one slot per owner (shard index). Must only be
+  // called while no request is published and no helper is polling — the
+  // simulator calls it from redeploy(), before the epoch's workers exist.
+  void configure_slots(std::size_t slots);
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
-  // Helper side: claim and run chunks of the active request, if any.
-  // Returns true if any work was done. Safe to call from any thread at any
-  // time; called by shards spinning at the window barrier.
+  // Owner side: evaluate pred over [0, n) in `slot`, with help from any
+  // shard worker currently polling help(). Appends the true indices to
+  // `out` in ascending order. Falls back to the serial loop if the slot is
+  // already claimed by another owner (per-slot claiming keeps the fast
+  // path wait-free). Out-of-range slots alias slot 0.
+  void evaluate(std::size_t slot, std::size_t n, CandidatePred pred,
+                std::vector<std::uint32_t>& out);
+  // Single-slot convenience (tests, single-shard callers).
+  void evaluate(std::size_t n, CandidatePred pred, std::vector<std::uint32_t>& out) {
+    evaluate(0, n, pred, out);
+  }
+
+  // Helper side: scan the ring and claim chunks of every published
+  // request. Returns true if any work was done. Safe to call from any
+  // thread at any time; called by shards spinning at the window barrier.
   bool help();
 
-  // Chunks executed by helpers (not the owner) since construction.
+  // Chunks executed by helpers (not the owners) since construction.
   // Observability/test hook; monotonic, relaxed.
   [[nodiscard]] std::uint64_t donated_chunks() const {
     return donated_.load(std::memory_order_relaxed);
@@ -64,38 +85,49 @@ class MatchHelpQueue {
     explicit Request(CandidatePred p) : pred(p) {}
   };
 
+  // One ring slot. `claimed` arbitrates owners (exchange; losers run the
+  // serial loop) and guards `chunk_hits`, which only the claiming owner may
+  // touch — the previous owner releases it strictly after its helpers
+  // drained, so resizing before publishing is race-free. `active` is the
+  // helper-visible publication; seq_cst everywhere: a helper's inflight
+  // increment and its request load form a Dekker pair with the owner's
+  // request clear and its inflight check, which is what lets the owner
+  // safely destroy the stack-allocated request after (clear → inflight
+  // drains to 0).
+  struct alignas(64) Slot {
+    std::atomic<bool> claimed{false};
+    std::atomic<Request*> active{nullptr};
+    std::atomic<std::size_t> helpers_inflight{0};
+    std::vector<std::vector<std::uint32_t>> chunk_hits;  // owner-reused
+  };
+
   // Runs chunk `c` of `r`, writing hits into (*r.hits)[c].
   static void run_chunk(Request& r, std::size_t c);
 
   std::size_t chunk_;
-  // The single active request, owned by the evaluating thread's stack.
-  // seq_cst everywhere: the helper's inflight increment and its request
-  // load form a Dekker pair with the owner's request clear and its
-  // inflight check, which is what lets the owner safely destroy the
-  // request after (clear → inflight drains to 0).
-  std::atomic<Request*> active_{nullptr};
-  std::atomic<std::size_t> helpers_inflight_{0};
+  // unique_ptr keeps slot addresses stable (atomics are not movable).
+  std::vector<std::unique_ptr<Slot>> slots_;
   std::atomic<std::uint64_t> donated_{0};
-  std::vector<std::vector<std::uint32_t>> chunk_hits_;  // owner-reused
 };
 
 // CandidateEvaluator adapter over a shared MatchHelpQueue: each shard holds
-// one, all pointing at the simulation's queue.
+// one bound to its own ring slot, all pointing at the simulation's queue.
 class HelpQueueEvaluator : public CandidateEvaluator {
  public:
-  HelpQueueEvaluator(MatchHelpQueue& queue, std::size_t threshold)
-      : queue_(queue), threshold_(threshold) {}
+  HelpQueueEvaluator(MatchHelpQueue& queue, std::size_t threshold, std::size_t slot = 0)
+      : queue_(queue), threshold_(threshold), slot_(slot) {}
 
   [[nodiscard]] std::size_t threshold() const override { return threshold_; }
 
   void evaluate(std::size_t n, CandidatePred pred,
                 std::vector<std::uint32_t>& out) override {
-    queue_.evaluate(n, pred, out);
+    queue_.evaluate(slot_, n, pred, out);
   }
 
  private:
   MatchHelpQueue& queue_;
   std::size_t threshold_;
+  std::size_t slot_;
 };
 
 }  // namespace greenps

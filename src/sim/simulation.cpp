@@ -118,10 +118,14 @@ void Simulation::redeploy(Deployment deployment) {
   if (match_threshold_ != ~std::size_t{0}) {
     if (num_shards > 1) {
       // Sharded run: the shard pool is busy driving the event loop, so hot
-      // shards publish batches to the help queue and idle shards donate
-      // barrier wait time (SpinBarrier idle poll).
+      // shards publish batches into their slot of the help-queue request
+      // ring and idle shards donate barrier wait time (SpinBarrier idle
+      // poll). One slot per shard lets several hot brokers fan out in the
+      // same lookahead window; no workers exist yet, so resizing is safe.
+      help_queue_->configure_slots(num_shards);
       for (auto& sh : shards_) {
-        sh->evaluator = std::make_unique<HelpQueueEvaluator>(*help_queue_, match_threshold_);
+        sh->evaluator =
+            std::make_unique<HelpQueueEvaluator>(*help_queue_, match_threshold_, sh->index);
       }
     } else {
       // Single-shard run: fan out across a dedicated matching pool.
@@ -134,6 +138,10 @@ void Simulation::redeploy(Deployment deployment) {
   measured_s_ = 0;
   publishers_scheduled_ = false;
   sampler_scheduled_ = false;
+  // The sampler's epoch ends with the deployment: the event clock restarts
+  // at zero, so keeping old rows would interleave two timelines in one
+  // series (the canonical (time, key) sort would shuffle them together).
+  sampler_.clear();
   // Fault epoch ends with the deployment: pending fault events died with
   // the queue, active faults and buffers are meaningless for new brokers.
   faults_active_ = false;
@@ -673,9 +681,23 @@ void Simulation::run(double duration_s) {
   // queued; a subsequent run() continues seamlessly.
   measured_s_ += duration_s;
   rebuild_master_state();
-  if (sample_interval_us_ > 0 && sampler_.row_count() > 0) {
+  if (sampler_csv_ && sample_interval_us_ > 0 && sampler_.row_count() > 0) {
     sampler_.write_csv(obs::TimeSeriesSampler::path_from_env());
   }
+}
+
+void Simulation::set_publisher_rate(ClientId client, MsgRate rate_msg_s) {
+  assert(rate_msg_s > 0);
+  for (auto& spec : deployment_.publishers) {
+    if (spec.client == client) spec.rate_msg_s = rate_msg_s;
+  }
+  for (auto& st : publishers_) {
+    if (st.spec.client == client) st.spec.rate_msg_s = rate_msg_s;
+  }
+}
+
+void Simulation::set_sample_interval_ms(double ms) {
+  sample_interval_us_ = ms > 0 ? static_cast<SimTime>(std::llround(ms * 1000.0)) : 0;
 }
 
 void Simulation::rebuild_master_state() {

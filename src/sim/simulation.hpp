@@ -102,6 +102,29 @@ class Simulation {
 
   [[nodiscard]] const Deployment& deployment() const { return deployment_; }
   [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+
+  // Update one publisher's emission rate in place (every spec carrying the
+  // client id, in the deployment and the live schedule). Takes effect at
+  // the publisher's next scheduled publication — a pure data change, so
+  // results stay bit-identical for any worker count. The rate must be
+  // positive: a publisher's event chain cannot be paused mid-epoch. Rates
+  // live on the deployment, so they survive redeploys (apply_plan copies
+  // the old publisher specs). Traffic shapers (diurnal schedules, flash
+  // crowds) drive this between run() slices.
+  void set_publisher_rate(ClientId client, MsgRate rate_msg_s);
+
+  // --- time-series sampling ---
+  // Programmatic equivalent of GREENPS_OBS_SAMPLE_MS: enable (or retune)
+  // per-broker sampling without touching the environment and without the
+  // CSV side channel (the CSV is still written when the env var set the
+  // interval). <= 0 disables. Takes effect at the next run() if sampling is
+  // not yet scheduled this epoch, else at the next redeploy.
+  void set_sample_interval_ms(double ms);
+  // Accumulated sample rows, in canonical (time, broker) order; rows are
+  // appended by run() and survive redeploys, so consumers (the elastic
+  // controller) read incrementally from their last row index.
+  [[nodiscard]] const obs::TimeSeriesSampler& samples() const { return sampler_; }
+
   [[nodiscard]] Broker& broker(BrokerId id);
   [[nodiscard]] const Broker& broker(BrokerId id) const;
 
@@ -334,6 +357,9 @@ class Simulation {
       "broker", {"in_rate_msg_s", "out_rate_msg_s", "queue_backlog_s", "bw_utilization"}};
   SimTime sample_interval_us_ = obs::TimeSeriesSampler::interval_us_from_env();
   bool sampler_scheduled_ = false;
+  // CSV rendering is tied to the env-var path (offline plotting); callers
+  // of set_sample_interval_ms get the in-memory rows only.
+  bool sampler_csv_ = sample_interval_us_ > 0;
 };
 
 }  // namespace greenps

@@ -1,0 +1,77 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenps {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+DiurnalSchedule::DiurnalSchedule(DiurnalConfig config) : config_(std::move(config)) {
+  if (config_.day_length_s <= 0) config_.day_length_s = 1;
+  peak_ = multiplier(0);
+  trough_ = peak_;
+  const int steps = static_cast<int>(std::ceil(config_.day_length_s));
+  for (int i = 1; i <= steps; ++i) {
+    const double m = multiplier(static_cast<double>(i));
+    peak_ = std::max(peak_, m);
+    trough_ = std::min(trough_, m);
+  }
+}
+
+double DiurnalSchedule::diurnal_component(double t_s) const {
+  const double phase = std::fmod(std::max(t_s, 0.0), config_.day_length_s);
+  const double wave = 0.5 * (1.0 - std::cos(2.0 * kPi * phase / config_.day_length_s));
+  // Squared sinusoid: real diurnal load has a narrower busy-hours peak and
+  // longer off-peak shoulders than a pure sine — exactly the shape that
+  // makes elastic consolidation pay.
+  return config_.trough_multiplier +
+         (config_.peak_multiplier - config_.trough_multiplier) * wave * wave;
+}
+
+double DiurnalSchedule::flash_component(double t_s) const {
+  double m = 1.0;
+  for (const FlashCrowdSpec& c : config_.flash_crowds) {
+    const double ramp = std::max(c.ramp_s, 0.0);
+    const double up0 = c.start_s - ramp;
+    const double down1 = c.start_s + c.duration_s + ramp;
+    if (t_s <= up0 || t_s >= down1 || c.multiplier <= 1.0) continue;
+    double f = 1.0;
+    if (t_s < c.start_s) {
+      f = (t_s - up0) / ramp;  // ramp > 0 here: t_s in (up0, start)
+    } else if (t_s > c.start_s + c.duration_s) {
+      f = (down1 - t_s) / ramp;
+    }
+    // Overlapping crowds compose multiplicatively (each adds its own
+    // audience on top of whatever else is happening).
+    m *= 1.0 + (c.multiplier - 1.0) * std::clamp(f, 0.0, 1.0);
+  }
+  return m;
+}
+
+double DiurnalSchedule::multiplier(double t_s) const {
+  return diurnal_component(t_s) * flash_component(t_s);
+}
+
+DiurnalConfig default_diurnal(double day_length_s) {
+  DiurnalConfig cfg;
+  cfg.day_length_s = day_length_s;
+  cfg.trough_multiplier = 0.25;
+  cfg.peak_multiplier = 1.0;
+  FlashCrowdSpec morning;
+  morning.start_s = 0.30 * day_length_s;
+  morning.duration_s = 0.08 * day_length_s;
+  morning.multiplier = 2.0;
+  morning.ramp_s = 0.01 * day_length_s;
+  FlashCrowdSpec evening;
+  evening.start_s = 0.85 * day_length_s;
+  evening.duration_s = 0.06 * day_length_s;
+  evening.multiplier = 2.5;
+  evening.ramp_s = 0.01 * day_length_s;
+  cfg.flash_crowds = {morning, evening};
+  return cfg;
+}
+
+}  // namespace greenps

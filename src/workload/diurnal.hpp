@@ -1,0 +1,58 @@
+// Diurnal + flash-crowd traffic schedule.
+//
+// A pure, deterministic rate-multiplier function of simulated time: a
+// squared-sinusoid day/night cycle (trough at t = 0 and t = day_length,
+// narrow busy-hours peak at mid-day) overlaid with trapezoidal flash
+// crowds (linear ramp up, plateau, linear ramp down). Traffic shapers multiply every publisher's base rate
+// by multiplier(t) between run() slices — the schedule itself never touches
+// the simulator, so any driver (bench, test, controller harness) can reuse
+// it and two drivers walking the same schedule see identical series.
+#pragma once
+
+#include <vector>
+
+namespace greenps {
+
+struct FlashCrowdSpec {
+  double start_s = 0;       // plateau start (ramp begins ramp_s earlier)
+  double duration_s = 0;    // plateau length
+  double multiplier = 2.5;  // applied on top of the diurnal component
+  double ramp_s = 20;       // linear ramp up before / down after the plateau
+};
+
+struct DiurnalConfig {
+  double day_length_s = 1800;
+  double trough_multiplier = 0.25;
+  double peak_multiplier = 1.0;
+  std::vector<FlashCrowdSpec> flash_crowds;
+};
+
+class DiurnalSchedule {
+ public:
+  explicit DiurnalSchedule(DiurnalConfig config);
+
+  // Total multiplier at sim time t (diurnal * flash overlays).
+  [[nodiscard]] double multiplier(double t_s) const;
+  // The sinusoid alone / the flash overlay alone (1.0 outside crowds).
+  [[nodiscard]] double diurnal_component(double t_s) const;
+  [[nodiscard]] double flash_component(double t_s) const;
+
+  // Extrema of multiplier() over one day, sampled at 1 s granularity —
+  // the static-peak / static-trough provisioning baselines plan at these.
+  [[nodiscard]] double peak() const { return peak_; }
+  [[nodiscard]] double trough() const { return trough_; }
+
+  [[nodiscard]] const DiurnalConfig& config() const { return config_; }
+
+ private:
+  DiurnalConfig config_;
+  double peak_ = 0;
+  double trough_ = 0;
+};
+
+// The E13/E14 shape: one flash crowd on the morning ramp (commissioning
+// while load is already rising) and one in the evening trough (a cold spike
+// against a consolidated deployment).
+[[nodiscard]] DiurnalConfig default_diurnal(double day_length_s);
+
+}  // namespace greenps

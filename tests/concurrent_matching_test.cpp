@@ -385,6 +385,55 @@ TEST(ParallelMatchEval, HelpQueueAgreesWithSerialUnderConcurrentHelpers) {
   for (std::thread& t : helpers) t.join();
 }
 
+// Several hot shards fanning out in the same lookahead window: one owner
+// per ring slot, all evaluating concurrently while shared helpers hammer
+// help() and steal chunks from whichever slot has work. Every owner must
+// still see exactly the serial hit list for its own request — chunk merge
+// order is per-slot, never cross-slot.
+TEST(ParallelMatchEval, MultiSlotOwnersConcurrentWithHelpers) {
+  constexpr std::size_t kOwners = 4;
+  MatchHelpQueue queue(/*chunk=*/8, /*slots=*/kOwners);
+  ASSERT_EQ(queue.slot_count(), kOwners);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < 2; ++h) {
+    helpers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!queue.help()) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> owners;
+  for (std::size_t slot = 0; slot < kOwners; ++slot) {
+    owners.emplace_back([&, slot] {
+      Rng rng(1000 + slot);
+      for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + rng.index(300);
+        std::vector<std::uint8_t> keep(n);
+        for (std::size_t i = 0; i < n; ++i) keep[i] = rng.chance(0.35) ? 1 : 0;
+        std::vector<std::uint32_t> expected;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (keep[i]) expected.push_back(static_cast<std::uint32_t>(i));
+        }
+        auto pred = [&keep](std::size_t i) { return keep[i] != 0; };
+        std::vector<std::uint32_t> got;
+        queue.evaluate(slot, n, CandidatePred(pred), got);
+        if (got != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : owners) t.join();
+  stop.store(true);
+  for (std::thread& t : helpers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
 // --- concurrent interner ------------------------------------------------
 
 // Threads intern overlapping string sets concurrently; ids must be
