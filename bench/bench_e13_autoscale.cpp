@@ -21,7 +21,10 @@
 //
 // Knobs: GREENPS_TINY=1 / GREENPS_FULL=1 scale, GREENPS_BENCH_BUDGET_S,
 // GREENPS_AUTOSCALE_DAY_S (day length), GREENPS_AUTOSCALE_INTERVAL_S
-// (control interval). Results land in BENCH_autoscale.json.
+// (control interval), GREENPS_HEADROOM_SCALE (seed the controller's learned
+// allocator-headroom correction with a previous run's value; each mode row
+// emits the run's final correction as learned_headroom_scale). Results land
+// in BENCH_autoscale.json.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -72,6 +75,7 @@ struct ModeResult {
   std::size_t min_brokers = 0;
   std::size_t max_brokers = 0;
   double migrations_per_hour = 0;
+  double headroom_scale = 1.0;  // learned allocator-headroom correction
   control::ControlTotals totals;
   double wall_s = 0;
   std::vector<std::string> tick_rows;
@@ -158,6 +162,7 @@ ModeResult run_mode(Mode mode, const HarnessConfig& cfg, const DiurnalSchedule& 
   }
 
   r.totals = loop.totals();
+  r.headroom_scale = loop.headroom_scale();
   r.broker_hours = r.totals.broker_seconds / 3600.0;
   r.publications = r.totals.publications;
   r.deliveries = r.totals.deliveries;
@@ -252,6 +257,7 @@ int main() {
                        .set_integer("plan_failures", r.totals.plan_failures)
                        .set_integer("apply_failures", r.totals.apply_failures)
                        .set_integer("plans_rejected", r.totals.plans_rejected)
+                       .set_number("learned_headroom_scale", r.headroom_scale)
                        .set_number("wall_s", r.wall_s)
                        .render());
     for (const std::string& tick : r.tick_rows) rows.push_back(tick);

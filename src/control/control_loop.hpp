@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "control/elastic_controller.hpp"
+#include "control/failure_detector.hpp"
 #include "control/load_estimator.hpp"
 #include "croc/croc.hpp"
 #include "sim/metrics.hpp"
@@ -64,6 +66,27 @@ struct ControlLoopConfig {
   // size the plan are lifetime averages and lag a rising flash crowd.
   double consolidate_headroom = 0.92;
   double commission_headroom = 0.60;
+
+  // ---- self-healing ----
+  // Emergency recovery on confirmed broker death: plan around the dead
+  // broker (quarantined from CROC's pool and reserve), re-home its orphaned
+  // clients, apply transactionally. Skips dwell/cooldown like the backlog
+  // emergency; requires `enabled`.
+  bool healing = true;
+  // Detection windows. expected_interval_s is overwritten from
+  // sample_interval_ms at construction (heartbeats ARE the sampler rows);
+  // tune suspicion via the phi/min_missed knobs.
+  FailureDetectorConfig detector;
+  // How long a confirmed-dead broker stays unplannable after recovery
+  // (loop-timeline seconds). Once expired the broker is commissionable
+  // again — the simulator recreates decommissioned brokers fresh, so this
+  // models the operator's repair/replacement time.
+  double quarantine_s = 120;
+
+  // Seed for the learned headroom correction (ROADMAP follow-up: persist
+  // headroom_scale_ across runs). <= 0 resolves GREENPS_HEADROOM_SCALE from
+  // the environment, defaulting to 1.0 (trust the allocator's model).
+  double initial_headroom_scale = 0;
 };
 
 // Everything one control tick did, for reports and tests.
@@ -81,6 +104,10 @@ struct TickRecord {
   FailureReason apply_failure = FailureReason::kNone;
   PlanScore score;  // consolidations only
   MigrationCost migration;
+  // Failure-detector view at this tick (deployed brokers only).
+  std::vector<BrokerId> suspects;
+  std::vector<BrokerId> dead;
+  std::size_t orphans_rehomed = 0;  // recovery ticks only
 };
 
 struct ControlTotals {
@@ -95,6 +122,19 @@ struct ControlTotals {
   std::size_t apply_failures = 0;   // rolled back
   std::size_t plans_rejected = 0;   // scored not-worth-it / no-op
   std::size_t clients_migrated = 0;
+  std::size_t detections = 0;       // brokers confirmed dead by the detector
+  std::size_t recoveries = 0;       // successful emergency recovery applies
+  std::size_t orphans_rehomed = 0;  // clients re-attached by recoveries
+};
+
+// One completed emergency recovery: a broker the detector confirmed dead
+// and the loop planned out of the deployment. recovered_s - detected_s is
+// the detection->clients-reattached recovery time E15 bounds.
+struct RecoveryRecord {
+  BrokerId broker;
+  double detected_s = 0;   // loop time the detector declared it dead
+  double recovered_s = 0;  // loop time the recovery plan was applied
+  std::size_t orphans = 0; // orphaned clients re-homed by this recovery
 };
 
 class ControlLoop {
@@ -116,19 +156,60 @@ class ControlLoop {
   [[nodiscard]] const DelayHistogram& delay_histogram() const { return delays_; }
   [[nodiscard]] Simulation& sim() { return sim_; }
   [[nodiscard]] const ElasticController& controller() const { return controller_; }
+  [[nodiscard]] const FailureDetector& detector() const { return detector_; }
+  [[nodiscard]] const std::vector<RecoveryRecord>& recoveries() const {
+    return recoveries_;
+  }
+  // The learned allocator-headroom correction as of now — persist it across
+  // runs by seeding the next run's initial_headroom_scale (or
+  // GREENPS_HEADROOM_SCALE) with this value.
+  [[nodiscard]] double headroom_scale() const { return headroom_scale_; }
 
   // Test hook: runs after planning, before the transactional apply —
   // injecting a fault here exercises the rollback → backoff → re-plan path.
   std::function<void(const ReconfigurationPlan&)> pre_apply_hook;
+  // Run around every successful redeploy: `pre` sees the outgoing epoch
+  // while its ledgers are still live (per-epoch loss audits), `post` sees
+  // the fresh deployment before any traffic (fault-option re-arm — a
+  // redeploy clears the simulator's fault state).
+  std::function<void(Simulation&)> pre_redeploy_hook;
+  std::function<void(Simulation&)> post_redeploy_hook;
 
  private:
   void act(TickRecord& rec, double now_s);
+  // Emergency re-homing after confirmed broker death(s).
+  void recover(TickRecord& rec, double now_s);
+  // Total-outage recovery: every deployed broker is dead or unreachable, so
+  // there is no entry broker to gather through. Commissions fresh reserve
+  // brokers (ascending id, never fewer than two when the reserve allows)
+  // sized to the capacity that vanished, on a star overlay; clients are
+  // re-homed by the caller's pin_and_rehome pass.
+  [[nodiscard]] ReconfigurationReport bootstrap_plan() const;
+  // Bounded-migration surgery on a recovery plan: pin every surviving
+  // client to its current home (when the plan keeps that broker) and
+  // round-robin the dead brokers' orphans across the surviving plan
+  // brokers. Returns the orphan count; per_home gets per-dead-broker
+  // counts for the recovery records.
+  [[nodiscard]] std::size_t pin_and_rehome(ReconfigurationPlan& plan,
+                                           const std::vector<BrokerId>& dead,
+                                           std::map<BrokerId, std::size_t>& per_home) const;
+  // Drop expired quarantine entries and push the active set to CROC.
+  void refresh_quarantine(double now_s);
+  // Shared apply tail: pre_apply_hook → transactional apply → redeploy (+
+  // hooks, detector re-watch) → controller/totals bookkeeping. False means
+  // the apply rolled back (backoff already fed).
+  bool finish_apply(TickRecord& rec, const ReconfigurationReport& report,
+                    ControlAction action, double now_s, std::size_t moved);
   [[nodiscard]] double capacity_of(const std::vector<BrokerId>& brokers) const;
 
   Simulation& sim_;
   ControlLoopConfig config_;
   ElasticController controller_;
   LoadEstimator estimator_;
+  FailureDetector detector_;
+  // Confirmed-dead brokers and when their quarantine lapses (loop time).
+  std::map<BrokerId, double> quarantine_until_;
+  std::vector<RecoveryRecord> recoveries_;
   Croc croc_;
   std::unordered_map<BrokerId, BrokerCapacity> universe_;
   // Learned correction for the allocator's packing model (which does not

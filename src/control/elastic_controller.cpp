@@ -11,6 +11,7 @@ const char* action_name(ControlAction a) {
     case ControlAction::kHold: return "hold";
     case ControlAction::kConsolidate: return "consolidate";
     case ControlAction::kCommission: return "commission";
+    case ControlAction::kRecover: return "recover";
   }
   return "?";
 }
@@ -24,6 +25,7 @@ const char* hold_reason_name(HoldReason r) {
     case HoldReason::kDwell: return "dwell";
     case HoldReason::kCooldown: return "cooldown";
     case HoldReason::kBackoff: return "backoff";
+    case HoldReason::kDegraded: return "degraded";
   }
   return "?";
 }
@@ -120,8 +122,12 @@ void ElasticController::on_applied(ControlAction action, double now_s) {
   // the surge passes is the controller's whole energy case. It still has
   // to clear the short guard, the warm-up gate and the full dwell.
   commission_ready_at_ = now_s + config_.commission_cooldown_s;
+  // A recovery reshuffles load onto the survivors and often commissions
+  // spares — exactly the state an eager consolidation would immediately
+  // unwind (and re-migrate the just-re-homed orphans). It earns the full
+  // consolidate cooldown, like a consolidation itself.
   consolidate_ready_at_ =
-      now_s + (action == ControlAction::kConsolidate
+      now_s + (action == ControlAction::kConsolidate || action == ControlAction::kRecover
                    ? config_.consolidate_cooldown_s
                    : config_.commission_cooldown_s);
 }

@@ -28,7 +28,10 @@
 
 namespace greenps::control {
 
-enum class ControlAction { kHold, kConsolidate, kCommission };
+// kRecover is never produced by decide(): the ControlLoop overrides the
+// decision with it when its failure detector confirms a broker death —
+// emergency recovery, like a backlog commission, skips dwell and cooldown.
+enum class ControlAction { kHold, kConsolidate, kCommission, kRecover };
 [[nodiscard]] const char* action_name(ControlAction a);
 
 // Why a tick held (kNone when it acted).
@@ -40,6 +43,7 @@ enum class HoldReason {
   kDwell,      // signal present but not yet persistent enough
   kCooldown,   // acted too recently in this direction
   kBackoff,    // a recent apply failed; waiting before re-planning
+  kDegraded,   // brokers suspect/dead: consolidation suppressed (anti-flap)
 };
 [[nodiscard]] const char* hold_reason_name(HoldReason r);
 
@@ -139,6 +143,10 @@ class ElasticController {
   void on_plan_rejected(ControlAction action, double now_s);
 
   [[nodiscard]] std::size_t consecutive_failures() const { return failures_; }
+  // Inside the failed-apply backoff window? Emergency recovery respects it
+  // (the failed apply usually IS the recovery attempt; retrying every tick
+  // against the same broken pool would just burn planner time).
+  [[nodiscard]] bool in_backoff(double now_s) const { return now_s < backoff_until_; }
 
  private:
   ControllerConfig config_;

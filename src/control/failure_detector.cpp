@@ -1,0 +1,134 @@
+#include "control/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenps::control {
+
+const char* health_name(BrokerHealth h) {
+  switch (h) {
+    case BrokerHealth::kAlive:
+      return "alive";
+    case BrokerHealth::kSuspect:
+      return "suspect";
+    case BrokerHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+void FailureDetector::watch(const std::vector<BrokerId>& brokers, double now_s) {
+  std::map<BrokerId, Track> next;
+  for (const BrokerId b : brokers) {
+    const auto it = tracks_.find(b);
+    if (it != tracks_.end()) {
+      next.emplace(b, it->second);
+    } else {
+      // Grace heartbeat: a freshly (re)deployed broker owes nothing until a
+      // full detection window elapses from the deployment itself.
+      Track t;
+      t.last_s = now_s;
+      t.mean_s = config_.expected_interval_s;
+      next.emplace(b, t);
+    }
+  }
+  tracks_ = std::move(next);
+}
+
+void FailureDetector::heartbeat(BrokerId b, double at_s) {
+  const auto it = tracks_.find(b);
+  if (it == tracks_.end()) return;  // not watched (parked / decommissioned)
+  Track& t = it->second;
+  if (at_s < t.last_s) return;  // stale row from before the grace mark
+  if (t.beats > 0 || t.health != BrokerHealth::kAlive || at_s > t.last_s) {
+    // Fold the gap into the learned statistics. Gaps are clamped: the first
+    // beat after an outage (or after the grace mark) measures the silence,
+    // not the cadence, and must not blow up the window for the next one.
+    const double gap =
+        std::min(at_s - t.last_s, 4.0 * std::max(t.mean_s, config_.expected_interval_s));
+    if (t.beats == 0) {
+      t.mean_s = std::max(gap, 1e-6);
+    } else {
+      const double a = config_.alpha;
+      const double d = gap - t.mean_s;
+      t.mean_s += a * d;
+      t.var_s2 = (1 - a) * (t.var_s2 + a * d * d);
+    }
+    t.beats += 1;
+  }
+  t.last_s = at_s;
+  if (t.health != BrokerHealth::kAlive) {
+    // Heard from it again: suspicion (or a not-yet-recovered death) clears.
+    t.health = BrokerHealth::kAlive;
+    t.dead_since = -1;
+  }
+}
+
+double FailureDetector::phi_of(const Track& t, double now_s) const {
+  const double gap = now_s - t.last_s;
+  if (gap <= 0) return 0;
+  const double mean = std::max(t.mean_s, 1e-6);
+  const double std_dev = std::max(std::sqrt(std::max(t.var_s2, 0.0)), config_.min_std_s);
+  const double z = (gap - mean) / std_dev;
+  // P(heartbeat later than now) under N(mean, std^2); erfc keeps precision
+  // in the far tail where 1 - CDF underflows.
+  const double p_later = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (p_later <= 0) return 40.0;  // beyond double precision: certainly dead
+  return std::min(-std::log10(p_later), 40.0);
+}
+
+double FailureDetector::phi(BrokerId b, double now_s) const {
+  const auto it = tracks_.find(b);
+  return it == tracks_.end() ? 0.0 : phi_of(it->second, now_s);
+}
+
+BrokerHealth FailureDetector::health(BrokerId b) const {
+  const auto it = tracks_.find(b);
+  return it == tracks_.end() ? BrokerHealth::kAlive : it->second.health;
+}
+
+double FailureDetector::dead_since(BrokerId b) const {
+  const auto it = tracks_.find(b);
+  return it == tracks_.end() ? -1.0 : it->second.dead_since;
+}
+
+void FailureDetector::evaluate(double now_s) {
+  for (auto& [b, t] : tracks_) {
+    (void)b;
+    const double gap = now_s - t.last_s;
+    const double expected = std::max(t.mean_s, 1e-6);
+    const double p = phi_of(t, now_s);
+    if (t.health == BrokerHealth::kDead) continue;  // sticky until watch()/heartbeat()
+    if (p >= config_.phi_dead && gap >= config_.min_missed_dead * expected) {
+      if (t.health != BrokerHealth::kSuspect) suspect_transitions_ += 1;
+      t.health = BrokerHealth::kDead;
+      t.dead_since = now_s;
+      dead_transitions_ += 1;
+    } else if (p >= config_.phi_suspect && gap >= config_.min_missed_suspect * expected) {
+      if (t.health == BrokerHealth::kAlive) {
+        t.health = BrokerHealth::kSuspect;
+        suspect_transitions_ += 1;
+      }
+    } else if (t.health == BrokerHealth::kSuspect) {
+      t.health = BrokerHealth::kAlive;
+    }
+  }
+}
+
+std::vector<BrokerId> FailureDetector::suspects() const {
+  std::vector<BrokerId> out;
+  for (const auto& [b, t] : tracks_) {
+    if (t.health == BrokerHealth::kSuspect) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<BrokerId> FailureDetector::dead() const {
+  std::vector<BrokerId> out;
+  for (const auto& [b, t] : tracks_) {
+    if (t.health == BrokerHealth::kDead) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace greenps::control

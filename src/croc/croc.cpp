@@ -64,6 +64,7 @@ ReconfigurationReport Croc::reconfigure(const Simulation& sim, BrokerId entry) {
       return sim.broker_info_if_reachable(b);
     });
   }
+  apply_quarantine(info);
   if (info.brokers.empty()) {
     ReconfigurationReport report;
     report.failure = FailureReason::kGatherFailed;
@@ -332,6 +333,19 @@ void Croc::set_capacity_headroom(double headroom) {
   }
 }
 
+void Croc::set_quarantined_brokers(std::vector<BrokerId> brokers) {
+  std::sort(brokers.begin(), brokers.end());
+  brokers.erase(std::unique(brokers.begin(), brokers.end()), brokers.end());
+  quarantine_ = std::move(brokers);
+}
+
+void Croc::apply_quarantine(GatheredInfo& info) const {
+  if (quarantine_.empty()) return;
+  std::erase_if(info.brokers, [this](const BrokerInfo& b) {
+    return std::binary_search(quarantine_.begin(), quarantine_.end(), b.id);
+  });
+}
+
 void Croc::splice_reserve(GatheredInfo& info) const {
   if (reserve_.empty()) return;
   std::unordered_set<BrokerId> live;
@@ -339,8 +353,12 @@ void Croc::splice_reserve(GatheredInfo& info) const {
   for (const BrokerInfo& b : info.brokers) live.insert(b.id);
   for (const BrokerInfo& b : reserve_) {
     // reserve_ is sorted by id, so the spliced order — and every plan
-    // derived from the pool — is deterministic.
-    if (!live.contains(b.id)) info.brokers.push_back(b);
+    // derived from the pool — is deterministic. A quarantined broker must
+    // not come back through the reserve: its entry covers the same id the
+    // quarantine just removed from the gathered pool.
+    if (live.contains(b.id)) continue;
+    if (std::binary_search(quarantine_.begin(), quarantine_.end(), b.id)) continue;
+    info.brokers.push_back(b);
   }
 }
 
@@ -490,6 +508,7 @@ ReconfigurationReport Croc::reconfigure_incremental(const Simulation& sim, Broke
     return finalize(std::move(report), stats);
   };
   const auto bootstrap = [&](GatheredInfo info) {
+    apply_quarantine(info);
     if (info.brokers.empty()) return gather_failed(info.stats);
     splice_reserve(info);
     return finalize(begin_incremental(info), info.stats);
@@ -507,6 +526,7 @@ ReconfigurationReport Croc::reconfigure_incremental(const Simulation& sim, Broke
         sim.deployment().topology, entry, session_->info,
         [&sim](BrokerId b) { return sim.broker_epoch_if_reachable(b); }, provider);
   }
+  apply_quarantine(info);
   if (info.brokers.empty()) return gather_failed(info.stats);
   splice_reserve(info);
   if (structural_reset_needed(session_->info, info)) {

@@ -173,12 +173,27 @@ class Croc {
   void set_capacity_headroom(double headroom);
   [[nodiscard]] double capacity_headroom() const { return config_.capacity_headroom; }
 
+  // Brokers no plan may use (the control plane's failure detector declared
+  // them dead). Quarantined brokers are filtered out of the gathered pool
+  // AND skipped by the reserve splice — without the latter, a crashed
+  // broker that answers no BIR would be silently re-commissioned from the
+  // reserve (whose entries cover the whole universe). Changing the
+  // quarantine changes the pool, so a live incremental session resets
+  // naturally on the next plan. Pass an empty vector to lift.
+  void set_quarantined_brokers(std::vector<BrokerId> brokers);
+  [[nodiscard]] const std::vector<BrokerId>& quarantined_brokers() const {
+    return quarantine_;
+  }
+
  private:
   struct Session;
 
   // Append reserve entries Phase 1 did not report (parked brokers are not
   // in the overlay, so the gather never visits them).
   void splice_reserve(GatheredInfo& info) const;
+  // Drop quarantined brokers from the gathered pool (a suspect broker may
+  // still have answered its BIR).
+  void apply_quarantine(GatheredInfo& info) const;
 
   // Phases 3 + GRAPE from a successful Phase 2 allocation (the shared tail
   // of plan_from_info and the incremental planners).
@@ -190,6 +205,7 @@ class Croc {
   CrocConfig config_;
   std::unique_ptr<Session> session_;
   std::vector<BrokerInfo> reserve_;  // sorted by id
+  std::vector<BrokerId> quarantine_;  // sorted by id
 };
 
 }  // namespace greenps

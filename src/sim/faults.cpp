@@ -126,6 +126,9 @@ void FaultStats::add(const FaultStats& other) {
   msgs_dropped_random += other.msgs_dropped_random;
   retransmits_replayed += other.retransmits_replayed;
   retransmit_overflow += other.retransmit_overflow;
+  pubs_deferred_admission += other.pubs_deferred_admission;
+  pubs_readmitted += other.pubs_readmitted;
+  pubs_shed_admission += other.pubs_shed_admission;
 }
 
 void FaultState::apply(const FaultEvent& ev, bool record) {

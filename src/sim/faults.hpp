@@ -100,6 +100,10 @@ struct FaultStats {
   std::uint64_t msgs_dropped_random = 0;      // probabilistic link drops
   std::uint64_t retransmits_replayed = 0;     // buffered messages re-injected
   std::uint64_t retransmit_overflow = 0;      // buffer cap hit; message lost
+  // Degraded-mode admission control (FaultOptions::admission_control):
+  std::uint64_t pubs_deferred_admission = 0;  // held at the door (backlog high)
+  std::uint64_t pubs_readmitted = 0;          // deferred, later injected
+  std::uint64_t pubs_shed_admission = 0;      // deferred-buffer cap hit; shed
 
   // Field-wise sum: reduces per-shard counters into one view.
   void add(const FaultStats& other);
@@ -178,6 +182,25 @@ struct FaultOptions {
   double expected_outage_s = 0;
   // Safety factor on derived caps: profiles are averages, outages hit peaks.
   double retransmit_headroom = 2.0;
+
+  // ---- degraded-mode admission control (self-healing control plane) ----
+  // While a deployment is degraded (a broker died; survivors absorb its
+  // traffic until the control plane re-homes clients), backlogs on the
+  // surviving brokers grow without bound unless load is shed by priority.
+  // Admission control sheds the lowest-priority class — NEW publisher
+  // injections — at the door: when a publisher's home broker is backlogged
+  // past `admission_backlog_s`, fresh publications are parked in a bounded
+  // per-broker deferred buffer and re-injected once the backlog drains
+  // below `admission_resume_s` (hysteresis). In-transit work (forwards,
+  // deliveries, retransmit replays) is never shed. Every deferred message
+  // is counted (FaultStats::pubs_deferred_admission) and, if the buffer
+  // cap forces a shed, classified by the loss oracle as excused.
+  bool admission_control = false;
+  double admission_backlog_s = 1.5;   // defer when home backlog exceeds this
+  double admission_resume_s = 0.5;    // re-admit below this (hysteresis)
+  double admission_retry_s = 0.25;    // deferred-drain polling period
+  std::size_t admission_max_deferred = 4096;  // per-broker buffer cap
+  std::size_t admission_drain_batch = 32;     // re-admissions per drain tick
 };
 
 }  // namespace greenps

@@ -39,6 +39,9 @@ LossAudit audit_losses(const Simulation& sim, StockQuoteGenerator quotes,
   }
 
   const auto pending = sim.pending_retransmits();
+  const auto deferred = sim.pending_admissions();
+  const auto shed = sim.shed_publications();
+  const auto& stranded = sim.stranded_messages();
   const FaultState& faults = sim.fault_state();
   const SimTime horizon = sim.now_us();
 
@@ -77,6 +80,12 @@ LossAudit audit_losses(const Simulation& sim, StockQuoteGenerator quotes,
             faults.in_outage(s.home, row.at, options.outage_slack) ||
             faults.in_outage(pub_home[adv], row.at, options.outage_slack) ||
             pending.contains({adv, seq}) ||
+            // Degraded-mode admission control: parked at the door (still
+            // deliverable), or shed under backpressure (accounted loss).
+            deferred.contains({adv, seq}) || shed.contains({adv, seq}) ||
+            // Swept out of a buffer by a redeploy that decommissioned the
+            // buffering broker: attributable to the fault, not the router.
+            stranded.contains({adv, seq}) ||
             row.at + options.horizon_slack >= horizon;
         if (excused) {
           audit.excused += 1;

@@ -6,8 +6,10 @@
 // publication ledger offline, recompute which publications each subscriber
 // should have received, and classify every missed delivery: *excused* when
 // an injected fault accounts for it (publisher or subscriber homed on a
-// crashed broker around publish time, message parked in a retransmit
-// buffer, or still in flight at the horizon) or a *real loss* otherwise.
+// crashed broker around publish time, message parked in a retransmit or
+// degraded-mode admission buffer, shed under admission backpressure,
+// stranded by a redeploy that decommissioned its buffering broker, or
+// still in flight at the horizon) or a *real loss* otherwise.
 // With retransmit-on-reconnect enabled and faults limited to broker
 // outages, a correct simulator produces zero real losses.
 #pragma once

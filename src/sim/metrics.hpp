@@ -69,6 +69,13 @@ struct SimSummary {
   double avg_output_utilization = 0;    // mean busy fraction of output links
   std::size_t pure_forwarding_brokers = 0;
   std::uint64_t retransmit_overflow = 0;  // retransmit-buffer drops (faulted runs)
+  // Degraded-mode admission control (faulted runs; zero otherwise):
+  std::uint64_t pubs_deferred = 0;   // publications parked at the door
+  std::uint64_t pubs_shed = 0;       // deferred-buffer cap hit; shed
+  // Messages swept out of retransmit/deferred buffers by a redeploy that
+  // decommissioned the buffering broker (cumulative over the sim's life;
+  // reclassified as excused by the loss oracle rather than silently lost).
+  std::uint64_t msgs_stranded = 0;
 };
 
 class MetricsCollector {

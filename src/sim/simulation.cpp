@@ -104,6 +104,11 @@ std::size_t Simulation::pick_shard_count() const {
 
 void Simulation::redeploy(Deployment deployment) {
   snapshot_profiled_rates();  // keep the last window's rates across epochs
+  // Messages parked in retransmit/deferred buffers die with the shards —
+  // if the buffering broker is decommissioned mid-outage there is no
+  // restart to replay them. Record them as stranded (cumulative) so the
+  // loss oracle can excuse instead of silently losing them.
+  sweep_stranded();
   deployment_ = std::move(deployment);
   brokers_.clear();
   publishers_.clear();
@@ -145,6 +150,7 @@ void Simulation::redeploy(Deployment deployment) {
   // Fault epoch ends with the deployment: pending fault events died with
   // the queue, active faults and buffers are meaningless for new brokers.
   faults_active_ = false;
+  admission_active_ = false;
   faults_.reset();
   fault_key_seq_ = 0;
   retransmit_caps_.clear();
@@ -288,6 +294,14 @@ void Simulation::publish(std::size_t pub_index) {
   if (ledger_enabled_) sh.ledger.push_back({st.spec.adv, seq, now, home_down});
   if (home_down) {
     sh.faults.stats().pubs_dropped_at_source += 1;
+  } else if (admission_active_ &&
+             to_seconds(std::max<SimTime>(home.broker->out_link().busy_until() - now, 0)) >
+                 fault_options_.admission_backlog_s) {
+    // Degraded mode: the home broker is drowning (typically absorbing a
+    // dead peer's traffic) — park the publication at the door instead of
+    // feeding the backlog. New injections are the lowest-priority class;
+    // in-transit forwards and deliveries are never shed.
+    defer_publication(home, std::move(pub), now);
   } else {
     home.broker->cbc().record_publish(st.spec.adv, seq, pub->size_kb(), now);
     const SimTime arrival = now + net_.client_latency;
@@ -406,6 +420,10 @@ void Simulation::arrive_at_broker(BrokerSlot& slot, std::shared_ptr<const Public
 void Simulation::install_faults(FaultSchedule schedule, FaultOptions options) {
   fault_options_ = options;
   ledger_enabled_ = true;  // the loss oracle needs the ledger either way
+  // Admission control arms with the options, schedule or not: a re-armed
+  // epoch after a recovery redeploy has no scheduled events, but the
+  // surviving brokers still need backpressure while load settles.
+  admission_active_ = options.admission_control;
   derive_retransmit_caps(schedule);
   if (schedule.empty()) return;
   faults_active_ = true;
@@ -587,6 +605,96 @@ void Simulation::replay_retransmits(BrokerSlot& slot) {
   }
 }
 
+void Simulation::defer_publication(BrokerSlot& home, std::shared_ptr<Publication> pub,
+                                   SimTime published_at) {
+  Shard& sh = *home.shard;
+  DeferredQueue& dq = sh.deferred[home.broker->id()];
+  if (dq.entries.size() >= fault_options_.admission_max_deferred) {
+    // Back-pressure at the door: the freshest message is the one shed.
+    sh.faults.stats().pubs_shed_admission += 1;
+    sh.shed.emplace(pub->adv_id(), pub->seq());
+    return;
+  }
+  sh.faults.stats().pubs_deferred_admission += 1;
+  dq.entries.push_back(DeferredPub{std::move(pub), published_at});
+  if (!dq.drain_scheduled) {
+    dq.drain_scheduled = true;
+    schedule_admission_drain(home);
+  }
+}
+
+void Simulation::schedule_admission_drain(BrokerSlot& slot) {
+  Shard& sh = *slot.shard;
+  EventQueue& q = loop_.queue(sh.index);
+  const SimTime retry = std::max<SimTime>(seconds(fault_options_.admission_retry_s), 1);
+  q.schedule_keyed(q.now() + retry, make_key(kSourceClass, slot.ord, slot.key_seq++),
+                   [this, sp = &slot] { drain_admissions(*sp); });
+}
+
+void Simulation::drain_admissions(BrokerSlot& slot) {
+  Shard& sh = *slot.shard;
+  const auto it = sh.deferred.find(slot.broker->id());
+  if (it == sh.deferred.end()) return;
+  DeferredQueue& dq = it->second;
+  if (dq.entries.empty()) {
+    dq.drain_scheduled = false;
+    return;
+  }
+  EventQueue& q = loop_.queue(sh.index);
+  const SimTime now = q.now();
+  const double backlog_s =
+      to_seconds(std::max<SimTime>(slot.broker->out_link().busy_until() - now, 0));
+  // A crashed home holds its parked messages (re-admitting them would only
+  // migrate them into the retransmit buffer); hysteresis on the backlog
+  // keeps the drain from re-flooding a link that barely recovered.
+  if (!slot.broker->crashed() && backlog_s <= fault_options_.admission_resume_s) {
+    const std::size_t n =
+        std::min(dq.entries.size(), fault_options_.admission_drain_batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      DeferredPub e = std::move(dq.entries.front());
+      dq.entries.pop_front();
+      sh.faults.stats().pubs_readmitted += 1;
+      slot.broker->cbc().record_publish(e.pub->adv_id(), e.pub->seq(), e.pub->size_kb(),
+                                        now);
+      // Re-stamp the ledger at re-admission: the oracle's horizon-slack
+      // excuse must measure from when the message actually entered the
+      // system, not from when it was parked (later rows win in its map).
+      if (ledger_enabled_) {
+        sh.ledger.push_back({e.pub->adv_id(), e.pub->seq(), now, false});
+      }
+      q.schedule_keyed(now + net_.client_latency,
+                       make_key(kSourceClass, slot.ord, slot.key_seq++),
+                       [this, sp = &slot, pub = std::move(e.pub),
+                        at = e.published_at]() mutable {
+                         arrive_at_broker(*sp, std::move(pub), BrokerId{},
+                                          /*has_from=*/false, /*broker_hops=*/0, at);
+                       });
+    }
+  }
+  if (dq.entries.empty()) {
+    dq.drain_scheduled = false;
+    return;
+  }
+  schedule_admission_drain(slot);
+}
+
+void Simulation::sweep_stranded() {
+  for (const auto& sh : shards_) {
+    for (const auto& [b, buf] : sh->retransmit) {
+      (void)b;
+      for (const BufferedArrival& e : buf) {
+        if (stranded_.emplace(e.pub->adv_id(), e.pub->seq()).second) stranded_total_ += 1;
+      }
+    }
+    for (const auto& [b, dq] : sh->deferred) {
+      (void)b;
+      for (const DeferredPub& e : dq.entries) {
+        if (stranded_.emplace(e.pub->adv_id(), e.pub->seq()).second) stranded_total_ += 1;
+      }
+    }
+  }
+}
+
 bool Simulation::broker_alive(BrokerId id) const {
   const auto it = brokers_.find(id);
   return it != brokers_.end() && !it->second.broker->crashed();
@@ -610,6 +718,23 @@ std::set<std::pair<AdvId, MessageSeq>> Simulation::pending_retransmits() const {
       for (const BufferedArrival& e : buf) out.emplace(e.pub->adv_id(), e.pub->seq());
     }
   }
+  return out;
+}
+
+std::set<std::pair<AdvId, MessageSeq>> Simulation::pending_admissions() const {
+  std::set<std::pair<AdvId, MessageSeq>> out;
+  for (const auto& sh : shards_) {
+    for (const auto& [b, dq] : sh->deferred) {
+      (void)b;
+      for (const DeferredPub& e : dq.entries) out.emplace(e.pub->adv_id(), e.pub->seq());
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<AdvId, MessageSeq>> Simulation::shed_publications() const {
+  std::set<std::pair<AdvId, MessageSeq>> out;
+  for (const auto& sh : shards_) out.insert(sh->shed.begin(), sh->shed.end());
   return out;
 }
 
@@ -753,6 +878,12 @@ void Simulation::take_sample(Shard& sh) {
   const double interval_s = to_seconds(sample_interval_us_);
   for (const BrokerId id : sh.owned_sorted) {
     const Broker& br = *brokers_.at(id).broker;
+    // A crashed broker emits no row: sampler rows double as heartbeats for
+    // the control plane's failure detector, and silence is the signal. The
+    // faults_active_ guard keeps fault-free series bit-identical. Baselines
+    // are left untouched, so the first post-restart row reports the rates
+    // accumulated since the last emitted row.
+    if (faults_active_ && br.crashed()) continue;
     SampleBaseline& base = sh.sample_baselines[id];
     std::uint64_t in_now = 0;
     std::uint64_t out_now = 0;
@@ -813,6 +944,9 @@ SimSummary Simulation::summarize() const {
   s.p50_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.50);
   s.p99_delivery_delay_ms = metrics_.delay_histogram().percentile_ms(0.99);
   s.retransmit_overflow = faults_.stats().retransmit_overflow;
+  s.pubs_deferred = faults_.stats().pubs_deferred_admission;
+  s.pubs_shed = faults_.stats().pubs_shed_admission;
+  s.msgs_stranded = stranded_total_;
 
   double util_total = 0;
   for (const auto& [b, traffic] : metrics_.traffic()) {

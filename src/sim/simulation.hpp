@@ -14,6 +14,7 @@
 // single-threaded run for any worker count.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <set>
@@ -175,6 +176,18 @@ class Simulation {
   }
   // (adv, seq) pairs sitting in retransmit buffers, awaiting a restart.
   [[nodiscard]] std::set<std::pair<AdvId, MessageSeq>> pending_retransmits() const;
+  // (adv, seq) pairs parked in degraded-mode admission buffers, awaiting a
+  // backlog drain (FaultOptions::admission_control).
+  [[nodiscard]] std::set<std::pair<AdvId, MessageSeq>> pending_admissions() const;
+  // Publications shed by admission control (deferred-buffer cap hit).
+  [[nodiscard]] std::set<std::pair<AdvId, MessageSeq>> shed_publications() const;
+  // Messages that were waiting in retransmit/deferred buffers when a
+  // redeploy cleared them (the buffering broker was decommissioned
+  // mid-outage). Cumulative across the sim's life; the loss oracle excuses
+  // these instead of reporting silent losses.
+  [[nodiscard]] const std::set<std::pair<AdvId, MessageSeq>>& stranded_messages() const {
+    return stranded_;
+  }
   // Current position of the sim clock (end of the last run horizon).
   [[nodiscard]] SimTime now_us() const { return loop_.now(); }
 
@@ -229,6 +242,18 @@ class Simulation {
     SimTime publish_time = 0;
   };
 
+  // A publication parked at its home broker's door by degraded-mode
+  // admission control, awaiting a backlog drain.
+  struct DeferredPub {
+    std::shared_ptr<Publication> pub;
+    SimTime published_at = 0;  // original publish time (delay accounting)
+  };
+
+  struct DeferredQueue {
+    std::deque<DeferredPub> entries;
+    bool drain_scheduled = false;
+  };
+
   // Previous-sample counters so each sample reports per-interval deltas.
   struct SampleBaseline {
     std::uint64_t msgs_in = 0;
@@ -257,6 +282,8 @@ class Simulation {
     PublicationPool pub_pool;
     std::vector<PublishRecord> ledger;
     std::unordered_map<BrokerId, std::vector<BufferedArrival>> retransmit;
+    std::unordered_map<BrokerId, DeferredQueue> deferred;
+    std::set<std::pair<AdvId, MessageSeq>> shed;  // admission-shed this epoch
     std::unordered_map<BrokerId, SampleBaseline> sample_baselines;
     std::vector<BrokerId> owned_sorted;  // brokers owned, ascending id
     obs::TimeSeriesSampler sampler{
@@ -300,6 +327,16 @@ class Simulation {
   void apply_fault(const FaultEvent& ev, Shard& sh);
   void buffer_for_retransmit(Shard& sh, BrokerId at, BufferedArrival&& entry);
   void replay_retransmits(BrokerSlot& slot);
+  // Degraded-mode admission control: park a fresh publication at its home
+  // broker's door, and the self-rescheduling per-broker drain that
+  // re-injects parked publications once the backlog recedes.
+  void defer_publication(BrokerSlot& home, std::shared_ptr<Publication> pub,
+                         SimTime published_at);
+  void schedule_admission_drain(BrokerSlot& slot);
+  void drain_admissions(BrokerSlot& slot);
+  // Sweep retransmit/deferred buffers into stranded_ (redeploy is about to
+  // clear the shards that hold them).
+  void sweep_stranded();
   // `slot` is resolved at schedule time (broker storage is stable between
   // redeploys and the queues are cleared on redeploy), saving an id lookup
   // per hop and per delivery on the hot path.
@@ -343,6 +380,11 @@ class Simulation {
   // branches and draws exactly the same random numbers as a build without
   // fault support, keeping fault-free runs bit-identical.
   bool faults_active_ = false;
+  // Degraded-mode admission control armed (FaultOptions::admission_control
+  // via install_faults). Gated separately from faults_active_ so overload
+  // backpressure works without any fault event armed; false by default, so
+  // the publish path is bit-identical to an admission-free build.
+  bool admission_active_ = false;
   FaultOptions fault_options_;
   FaultState faults_;  // master view
   std::uint64_t fault_key_seq_ = 0;  // shared event key per replicated fault
@@ -352,6 +394,9 @@ class Simulation {
   // window; sizes derived retransmit caps for the next fault epoch.
   std::unordered_map<BrokerId, double> profiled_rate_;
   std::unordered_map<BrokerId, std::size_t> retransmit_caps_;
+  // Buffered messages orphaned by redeploys (see stranded_messages()).
+  std::set<std::pair<AdvId, MessageSeq>> stranded_;
+  std::uint64_t stranded_total_ = 0;
 
   obs::TimeSeriesSampler sampler_{
       "broker", {"in_rate_msg_s", "out_rate_msg_s", "queue_backlog_s", "bw_utilization"}};
